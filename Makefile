@@ -1,0 +1,24 @@
+.PHONY: install test bench experiments export examples api-doc all
+
+install:
+	pip install -e .[dev]
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro.harness.runner
+
+export:
+	python -m repro.harness.runner --export-dir results
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f > /dev/null || exit 1; done; echo "all examples OK"
+
+api-doc:
+	python tools/gen_api_doc.py
+
+all: test bench experiments

@@ -1,0 +1,38 @@
+"""Ablation/extension studies: design-choice sensitivity benches."""
+
+from repro.harness.experiments import ablations
+
+
+def test_ablations(benchmark):
+    result = benchmark.pedantic(ablations.run, rounds=2, iterations=1)
+    cl = result.table("Counterfactual: channel-last schedule on the TPU (TFLOPS)")
+    advantage = dict(zip(cl.column("stride"), cl.column("CF advantage")))
+    assert advantage[4] > 3.0
+    variants = result.table("CONV variants on V100 (ms)")
+    assert {r[0]: r[3] for r in variants.rows}["deformable"] > 1.1
+
+
+def test_extensions(benchmark):
+    from repro.harness.experiments import extensions
+
+    result = benchmark.pedantic(extensions.run, rounds=2, iterations=1)
+    grouped = result.table("Grouped conv on the TPU (C=256, 28x28, 3x3, batch 8)")
+    util = dict(zip(grouped.column("groups"), grouped.column("utilization")))
+    assert util[1] > 0.9 and util[256] < 0.01
+
+
+def test_batch_sweep(benchmark):
+    from repro.harness.experiments import batch_sweep
+
+    result = benchmark.pedantic(batch_sweep.run, rounds=2, iterations=1)
+    table = result.table("TFLOPS vs batch (28x28, 128->128, 3x3)")
+    for row in table.rows:
+        assert row[2] < row[1]  # explicit always trails
+
+
+def test_sparsity(benchmark):
+    from repro.harness.experiments import sparsity
+
+    result = benchmark.pedantic(sparsity.run, rounds=2, iterations=1)
+    table = result.table("VGG16 at 5/9 positions per layer (batch 8)")
+    assert 1.4 <= table.rows[1][2] <= 1.8

@@ -1,0 +1,13 @@
+"""Fig 13: TPUSim-vs-TPUv2 validation on GEMM and CONV microbenchmarks."""
+
+from repro.harness.experiments import fig13
+
+
+def test_fig13a_gemm_validation(benchmark):
+    run = benchmark(fig13.gemm_validation)
+    assert run.mape() < 8.0  # paper: 4.42%
+
+
+def test_fig13b_conv_validation(benchmark):
+    run = benchmark(fig13.conv_validation)
+    assert run.mape() < 8.0  # paper: 4.87%

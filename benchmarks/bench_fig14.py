@@ -1,0 +1,13 @@
+"""Fig 14: multi-tile parameter effect and the inferred TPU policy."""
+
+from repro.harness.experiments import fig14
+
+
+def test_fig14(benchmark):
+    result = benchmark(fig14.run)
+    table = result.table("Fig 14a: tiles vs performance and workspace")
+    speedups = table.column("speedup vs 1")
+    assert speedups[2] > 1.5  # 3 tiles beats 1 substantially
+    assert abs(speedups[-1] - speedups[2]) / speedups[2] < 0.05  # plateau
+    note = [n for n in result.notes if "Policy" in n][0]
+    assert float(note.split(":")[1].split("%")[0]) < 9.0  # paper: 5.3%

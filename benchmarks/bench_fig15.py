@@ -1,0 +1,13 @@
+"""Fig 15: end-to-end model validation, TPUSim vs TPU-v2 (batch 8)."""
+
+from repro.harness.experiments import fig15
+
+
+def test_fig15(benchmark):
+    result = benchmark(fig15.run)
+    dist = result.table("Fig 15b: layer-wise error distribution")
+    mae = dist.rows[0][1]
+    assert mae < 10.0  # paper: 5.8%
+    models = result.table("Fig 15a: per-network conv latency (ms)")
+    for error in models.column("error %"):
+        assert error < 12.0

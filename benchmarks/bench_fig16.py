@@ -1,0 +1,14 @@
+"""Fig 16: hardware design-space exploration (array size, SRAM word size)."""
+
+from repro.harness.experiments import fig16
+
+
+def test_fig16(benchmark):
+    result = benchmark(fig16.run)
+    arrays = result.table("Fig 16a: array size sweep (VGG16)")
+    util = dict(zip(arrays.column("array"), arrays.column("utilization")))
+    assert util[256] < 0.65 * util[128]  # utilization roughly halves
+    words = result.table("Fig 16b: vector-memory word size (256 KB macro)")
+    ratios = dict(zip(words.column("word (elems)"), words.column("area vs word-32")))
+    # word-1-element (4 B) vs word-8-element (32 B): the paper's 3.2x point
+    assert 2.5 <= ratios[1] / ratios[8] <= 4.0

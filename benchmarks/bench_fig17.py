@@ -1,0 +1,11 @@
+"""Fig 17: our channel-first GPU implementation vs cuDNN, batch 8."""
+
+from repro.harness.experiments import fig17
+
+
+def test_fig17(benchmark):
+    result = benchmark(fig17.run)
+    ratios = result.table("Fig 17").column("ours (normalized)")
+    average = sum(ratios) / len(ratios)
+    assert abs(average - 1.0) < 0.05  # paper: ~1% slower
+    assert all(0.85 <= r <= 1.15 for r in ratios)

@@ -1,0 +1,12 @@
+"""Fig 18: strided-conv speedup over cuDNN and the inter-tile-reuse gain."""
+
+from repro.harness.experiments import fig18
+
+
+def test_fig18(benchmark):
+    result = benchmark(fig18.run)
+    speedups = result.table("Fig 18a: strided layers, ours vs cuDNN").column("speedup")
+    assert sum(speedups) / len(speedups) > 1.1  # paper: +20% average
+    assert max(speedups) > 1.3  # paper: up to +40%
+    gains = result.table("Fig 18b: inter-tile reuse impact").column("improvement %")
+    assert 8.0 <= sum(gains) / len(gains) <= 45.0  # paper: 16.7%

@@ -1,0 +1,13 @@
+"""Fig 2: explicit vs implicit im2col on GPU (a) and TPU (b), batch 64."""
+
+from repro.harness.experiments import fig2
+
+
+def test_fig2(benchmark):
+    result = benchmark(fig2.run)
+    gpu = result.table("Fig 2a: V100 GPU (normalized to implicit)")
+    assert all(total > 1.0 for total in gpu.column("explicit total"))
+    tpu = result.table("Fig 2b: TPU-v2 (normalized to implicit; transform est. from GPU)")
+    totals = tpu.column("explicit total")
+    assert all(t > 1.0 for t in totals)
+    assert 1.05 <= sum(totals) / len(totals) <= 1.45  # paper: 1.23

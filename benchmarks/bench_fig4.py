@@ -1,0 +1,15 @@
+"""Fig 4: TFLOPS vs stride — GPU degrades, TPU insensitive."""
+
+from repro.harness.experiments import fig4
+
+
+def test_fig4(benchmark):
+    result = benchmark(fig4.run)
+    gpu = result.table("Fig 4a: V100 tensor cores (TFLOPS)")
+    for row in gpu.rows:
+        assert row[2] < 0.85 * row[1]  # stride 2 drop
+        assert row[3] < 0.5 * row[1]  # stride 4 drop
+    tpu = result.table("Fig 4b: TPU (TFLOPS)")
+    for row in tpu.rows:
+        assert row[2] > 0.85 * row[1]
+        assert row[3] > 0.8 * row[1]

@@ -1,0 +1,14 @@
+"""Fig 7: HWC vs CHW DRAM layouts for tile fills."""
+
+from repro.harness.experiments import fig7
+
+
+def test_fig7(benchmark):
+    result = benchmark(fig7.run)
+    table = result.table("Fig 7: tile-fill cost by DRAM layout")
+    grouped = {}
+    for row in table.rows:
+        grouped.setdefault(row[0], {})[row[1]] = row[4]
+    for stride, cycles in grouped.items():
+        assert cycles["NHWC"] <= cycles["NCHW"] * 1.01
+    assert grouped[4]["NCHW"] / grouped[4]["NHWC"] > grouped[1]["NCHW"] / grouped[1]["NHWC"]

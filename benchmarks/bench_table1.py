@@ -1,0 +1,12 @@
+"""Table I: explicit-im2col memory usage across five CNNs."""
+
+from repro.harness.experiments import table1
+
+
+def test_table1(benchmark):
+    result = benchmark(table1.run)
+    table = result.table("Table I (batch 1, FP16)")
+    ifmaps, lowered, expansion = table.rows
+    for i in range(1, len(ifmaps)):
+        assert lowered[i] > 1.5 * ifmaps[i]
+        assert expansion[i] <= 12.0

@@ -1,0 +1,11 @@
+"""Table II: the TPUSim configuration print-out (pins Tbl. II parameters)."""
+
+from repro.harness.experiments import table2
+
+
+def test_table2(benchmark):
+    result = benchmark(table2.run)
+    rendered = result.render()
+    assert "128 x 128" in rendered
+    assert "32 MB" in rendered
+    assert "700 GB/s" in rendered

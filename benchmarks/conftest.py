@@ -1,0 +1,9 @@
+"""Benchmark-suite configuration.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures under
+pytest-benchmark timing and asserts the paper-shape properties on the
+produced numbers, so `pytest benchmarks/ --benchmark-only` both measures the
+harness and re-verifies every reproduced artifact.
+"""
+
+import pytest

@@ -1,0 +1,95 @@
+"""Convolution variants through the channel-first machinery (extension).
+
+Run:  python examples/conv_variants.py
+
+Demonstrates the paper's Sec. II-C claim — that the channel-first
+decomposition handles the convolution variants that break the channel-last
+design — with executable numerics and model timings:
+
+1. dilated conv (exact numerics + GPU timing comparison),
+2. deformable conv (bilinear-gathered decomposed tiles; fused vs the
+   explicit-gather fallback),
+3. depthwise conv (the honest GEMM-engine worst case).
+"""
+
+import numpy as np
+
+from repro.core import (
+    ConvSpec,
+    GroupedConvSpec,
+    conv2d_channel_first,
+    deformable_conv2d,
+    direct_conv2d,
+    grouped_conv2d,
+    random_conv_operands,
+    zero_offsets,
+)
+from repro.gpu import (
+    V100,
+    deformable_conv_time_channel_first,
+    deformable_conv_time_fallback,
+    dilated_conv_times,
+)
+from repro.systolic import TPUSim
+
+
+def dilated_demo() -> None:
+    spec = ConvSpec(n=2, c_in=8, h_in=16, w_in=16, c_out=8,
+                    h_filter=3, w_filter=3, stride=1, padding=2, dilation=2,
+                    name="dilated-d2")
+    x, w = random_conv_operands(spec, seed=1)
+    assert np.array_equal(conv2d_channel_first(x, w, spec), direct_conv2d(x, w, spec))
+    timing_spec = ConvSpec(n=8, c_in=128, h_in=28, w_in=28, c_out=128,
+                           h_filter=3, w_filter=3, padding=2, dilation=2)
+    cl, cf = dilated_conv_times(timing_spec, V100)
+    print(f"dilated d=2: numerics exact; V100 channel-last {cl.seconds * 1e6:.1f} us "
+          f"vs channel-first {cf.seconds * 1e6:.1f} us")
+
+
+def deformable_demo() -> None:
+    spec = ConvSpec(n=2, c_in=4, h_in=10, w_in=10, c_out=4,
+                    h_filter=3, w_filter=3, stride=1, padding=1)
+    x, w = random_conv_operands(spec, seed=2)
+    rng = np.random.default_rng(3)
+    offsets = rng.uniform(-0.8, 0.8, size=zero_offsets(spec).shape)
+    out = deformable_conv2d(x, w, offsets, spec)
+    plain = deformable_conv2d(x, w, zero_offsets(spec), spec)
+    assert np.allclose(plain, direct_conv2d(x, w, spec))
+    print(f"deformable: zero-offset case exact; learned offsets shift the output "
+          f"by up to {np.abs(out - plain).max():.1f} (as they should)")
+
+    timing_spec = ConvSpec(n=8, c_in=128, h_in=28, w_in=28, c_out=128,
+                           h_filter=3, w_filter=3, padding=1)
+    fused = deformable_conv_time_channel_first(timing_spec, V100)
+    fallback = deformable_conv_time_fallback(timing_spec, V100)
+    print(f"deformable timing: fused channel-first {fused.seconds * 1e6:.1f} us vs "
+          f"explicit gather+GEMM {fallback.seconds * 1e6:.1f} us "
+          f"({fallback.seconds / fused.seconds:.2f}x)")
+
+
+def depthwise_demo() -> None:
+    base = ConvSpec(n=2, c_in=8, h_in=12, w_in=12, c_out=8,
+                    h_filter=3, w_filter=3, padding=1)
+    grouped = GroupedConvSpec(base=base, groups=8)
+    rng = np.random.default_rng(4)
+    x = rng.integers(-3, 4, base.ifmap_shape).astype(np.float64)
+    w = rng.integers(-3, 4, grouped.weight_shape).astype(np.float64)
+    out = grouped_conv2d(x, w, grouped)
+    assert out.shape == base.ofmap_shape
+    sim = TPUSim()
+    dense = sim.simulate_conv(base)
+    per_group = sim.simulate_conv(grouped.per_group_spec())
+    dw_cycles = per_group.cycles * grouped.groups
+    print(f"depthwise: numerics OK; on the MXU the depthwise version takes "
+          f"{dw_cycles / dense.cycles:.1f}x the DENSE layer's cycles for "
+          f"{grouped.groups}x fewer MACs — the GEMM engine's honest limit")
+
+
+def main() -> None:
+    dilated_demo()
+    deformable_demo()
+    depthwise_demo()
+
+
+if __name__ == "__main__":
+    main()

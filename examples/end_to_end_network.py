@@ -1,0 +1,59 @@
+"""End-to-end network simulation on both platforms (Figs 15 and 17).
+
+Run:  python examples/end_to_end_network.py [network] [batch]
+
+Simulates every conv layer of a network (default ResNet-50, batch 8) on
+TPUSim and the V100 model, prints a per-layer table for the heaviest layers
+and the totals, and compares the TPU simulation against the TPU-v2
+measurement stand-in the way Fig 15 does.
+"""
+
+import sys
+
+from repro.gpu import V100, channel_first_conv_time
+from repro.oracle import TPUv2Oracle
+from repro.systolic import TPUSim
+from repro.workloads import network, network_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "ResNet"
+    batch = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    layers = network(name, batch)
+    sim = TPUSim()
+    oracle = TPUv2Oracle()
+    clock = sim.config.clock_ghz * 1e9
+
+    rows = []
+    tpu_total = 0.0
+    oracle_total = 0.0
+    gpu_total = 0.0
+    for layer in layers:
+        tpu = sim.simulate_conv(layer)
+        measured = oracle.measured_conv_cycles(layer)
+        gpu = channel_first_conv_time(layer, V100)
+        tpu_total += tpu.cycles
+        oracle_total += measured
+        gpu_total += gpu.seconds
+        rows.append((layer, tpu, measured, gpu))
+
+    print(f"{name} (batch {batch}): {len(layers)} conv layers, "
+          f"{sum(l.macs for l in layers) * 2 / 1e9:.1f} GFLOPs\n")
+    print(f"{'layer':>28} {'TPU us':>9} {'TPUv2 us':>9} {'err%':>5} {'GPU us':>8} {'TPU tf':>7}")
+    heaviest = sorted(rows, key=lambda r: r[1].cycles, reverse=True)[:12]
+    for layer, tpu, measured, gpu in heaviest:
+        err = 100 * abs(tpu.cycles - measured) / measured
+        print(f"{layer.name:>28} {tpu.cycles / clock * 1e6:>9.1f} "
+              f"{measured / clock * 1e6:>9.1f} {err:>5.1f} "
+              f"{gpu.seconds * 1e6:>8.1f} {tpu.tflops:>7.1f}")
+    print("  ... (heaviest 12 layers shown)\n")
+
+    err_total = 100 * abs(tpu_total - oracle_total) / oracle_total
+    print(f"Totals: TPUSim {tpu_total / clock * 1e3:.2f} ms vs TPUv2 "
+          f"{oracle_total / clock * 1e3:.2f} ms (error {err_total:.1f}%); "
+          f"GPU {gpu_total * 1e3:.2f} ms")
+    print(f"Known networks: {', '.join(network_names())}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""The stride story (Figs 3, 4, 8, 18a): why channel-last implicit im2col
+collapses under stride while channel-first does not.
+
+Run:  python examples/stride_sweep.py
+
+Sweeps stride over representative layers and prints, per platform:
+- GPU channel-last (cuDNN-like), GPU channel-first (ours), GEMM reference;
+- TPU channel-first via TPUSim.
+"""
+
+from repro.core import ConvSpec
+from repro.gpu import (
+    V100,
+    channel_first_conv_time,
+    channel_last_conv_time,
+    gemm_kernel_time,
+)
+from repro.systolic import TPUSim
+
+LAYERS = [
+    ConvSpec(n=64, c_in=64, h_in=56, w_in=56, c_out=64,
+             h_filter=3, w_filter=3, padding=1, name="56-64-64-3"),
+    ConvSpec(n=64, c_in=128, h_in=28, w_in=28, c_out=128,
+             h_filter=3, w_filter=3, padding=1, name="28-128-128-3"),
+]
+STRIDES = (1, 2, 4)
+
+
+def main() -> None:
+    sim = TPUSim()
+    header = f"{'layer':>14} {'s':>2} | {'GPU CL':>7} {'GPU CF':>7} {'GEMM':>7} | {'TPU CF':>7}"
+    print(header)
+    print("-" * len(header))
+    for layer in LAYERS:
+        for stride in STRIDES:
+            spec = layer.with_stride(stride)
+            cl = channel_last_conv_time(spec, V100).tflops
+            cf = channel_first_conv_time(spec, V100).tflops
+            gemm = gemm_kernel_time(spec.gemm_shape(), V100).tflops
+            tpu = sim.simulate_conv(spec).tflops
+            print(f"{layer.name:>14} {stride:>2} | {cl:7.1f} {cf:7.1f} {gemm:7.1f} | {tpu:7.1f}")
+        print()
+    print("TFLOPS.  GPU CL = channel-last implicit (the cuDNN-like path);")
+    print("GPU CF = our block-level channel-first; GEMM = equivalent-size GEMM;")
+    print("TPU CF = channel-first on TPUSim.  Note CL's collapse at stride 4,")
+    print("CF's resilience, and the TPU's near-total insensitivity (Fig 4).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""repro — reproduction of "Characterizing and Demystifying the Implicit
+Convolution Algorithm on Commercial Matrix-Multiplication Accelerators"
+(IISWC 2021).
+
+Public surface:
+
+- :mod:`repro.core` — the channel-first implicit im2col algorithm and all
+  convolution/GEMM geometry.
+- :mod:`repro.memory` — DRAM (HBM) and SRAM substrates.
+- :mod:`repro.systolic` — TPUSim, the configurable cycle-level systolic-array
+  simulator.
+- :mod:`repro.gpu` — the tensor-core timing model and the three GPU
+  convolution paths (explicit, channel-last, channel-first).
+- :mod:`repro.oracle` — measurement stand-ins for TPU-v2 and cuDNN/V100.
+- :mod:`repro.workloads` — the seven CNNs plus synthetic sweeps.
+- :mod:`repro.analysis` — metrics, roofline and validation machinery.
+- :mod:`repro.harness` — experiment runners for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+from . import core
+
+__all__ = ["core", "__version__"]

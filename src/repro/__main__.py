@@ -1,0 +1,142 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``experiments [ids...] [--quick]`` — regenerate the paper's tables/figures
+  (same as ``python -m repro.harness.runner``).
+- ``simulate-conv`` — time one conv layer on TPUSim and the V100 model.
+- ``simulate-network <name> [--batch N] [--platform tpu|gpu]`` — a whole CNN.
+- ``sweep-stride`` — the stride study for one layer across all paths.
+- ``list-networks`` — the available workload tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .core.conv_spec import ConvSpec
+from .gpu.channel_first import channel_first_conv_time
+from .gpu.channel_last import channel_last_conv_time
+from .gpu.config import V100
+from .gpu.blocked_gemm import gemm_kernel_time
+from .systolic.simulator import TPUSim
+from .workloads.networks import network, network_names
+
+
+def _add_conv_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--batch", type=int, default=8)
+    parser.add_argument("--c-in", type=int, default=128)
+    parser.add_argument("--size", type=int, default=28, help="input H=W")
+    parser.add_argument("--c-out", type=int, default=128)
+    parser.add_argument("--filter", type=int, default=3)
+    parser.add_argument("--stride", type=int, default=1)
+    parser.add_argument("--padding", type=int, default=None)
+    parser.add_argument("--dilation", type=int, default=1)
+
+
+def _spec_from_args(args) -> ConvSpec:
+    padding = args.padding if args.padding is not None else args.filter // 2
+    return ConvSpec(
+        n=args.batch, c_in=args.c_in, h_in=args.size, w_in=args.size,
+        c_out=args.c_out, h_filter=args.filter, w_filter=args.filter,
+        stride=args.stride, padding=padding, dilation=args.dilation,
+        name="cli",
+    )
+
+
+def cmd_experiments(args) -> int:
+    from .harness.runner import main as runner_main
+
+    argv: List[str] = list(args.ids)
+    if args.quick:
+        argv.append("--quick")
+    return runner_main(argv)
+
+
+def cmd_simulate_conv(args) -> int:
+    spec = _spec_from_args(args)
+    print(spec.describe())
+    tpu = TPUSim().simulate_conv(spec)
+    print(f"TPU-v2: {tpu.cycles:,.0f} cycles, {tpu.tflops:.2f} TFLOPS, "
+          f"utilization {tpu.utilization:.0%}, multi-tile={tpu.group_size}")
+    gpu = channel_first_conv_time(spec, V100)
+    print(f"V100:   {gpu.seconds * 1e6:.1f} us, {gpu.tflops:.1f} TFLOPS, "
+          f"bound={gpu.kernel.bound}")
+    return 0
+
+
+def cmd_simulate_network(args) -> int:
+    layers = network(args.name, args.batch)
+    if args.platform == "tpu":
+        sim = TPUSim()
+        net = sim.simulate_network(args.name, layers)
+        print(f"{args.name} (batch {args.batch}) on TPU-v2: "
+              f"{net.latency_s(sim.config.clock_ghz) * 1e3:.2f} ms, "
+              f"{net.tflops(sim.config.clock_ghz):.1f} TFLOPS")
+    else:
+        total = sum(channel_first_conv_time(layer, V100).seconds for layer in layers)
+        macs = sum(layer.macs for layer in layers)
+        print(f"{args.name} (batch {args.batch}) on V100: {total * 1e3:.2f} ms, "
+              f"{2 * macs / total / 1e12:.1f} TFLOPS")
+    return 0
+
+
+def cmd_sweep_stride(args) -> int:
+    base = _spec_from_args(args)
+    sim = TPUSim()
+    print(f"{'stride':>6} {'TPU CF':>8} {'GPU CF':>8} {'GPU CL':>8} {'GEMM':>8}  (TFLOPS)")
+    for stride in (1, 2, 4):
+        spec = base.with_stride(stride)
+        tpu = sim.simulate_conv(spec).tflops
+        cf = channel_first_conv_time(spec, V100).tflops
+        cl = channel_last_conv_time(spec, V100).tflops
+        gemm = gemm_kernel_time(spec.gemm_shape(), V100).tflops
+        print(f"{stride:>6} {tpu:>8.1f} {cf:>8.1f} {cl:>8.1f} {gemm:>8.1f}")
+    return 0
+
+
+def cmd_list_networks(args) -> int:
+    for name in network_names():
+        layers = network(name, 1)
+        gflops = sum(2 * layer.macs for layer in layers) / 1e9
+        print(f"{name:>10}: {len(layers):>3} conv layers, {gflops:6.1f} GFLOPs/image")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+    p.add_argument("ids", nargs="*")
+    p.add_argument("--quick", action="store_true")
+    p.set_defaults(func=cmd_experiments)
+
+    p = sub.add_parser("simulate-conv", help="time one conv layer on both platforms")
+    _add_conv_args(p)
+    p.set_defaults(func=cmd_simulate_conv)
+
+    p = sub.add_parser("simulate-network", help="time a whole CNN")
+    p.add_argument("name")
+    p.add_argument("--batch", type=int, default=8)
+    p.add_argument("--platform", choices=("tpu", "gpu"), default="tpu")
+    p.set_defaults(func=cmd_simulate_network)
+
+    p = sub.add_parser("sweep-stride", help="stride study for one layer")
+    _add_conv_args(p)
+    p.set_defaults(func=cmd_sweep_stride)
+
+    p = sub.add_parser("list-networks", help="available workload tables")
+    p.set_defaults(func=cmd_list_networks)
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

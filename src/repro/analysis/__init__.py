@@ -1,0 +1,30 @@
+"""Analysis: metrics, roofline placement, and simulator-vs-measurement
+validation machinery."""
+
+from .metrics import (
+    ErrorStats,
+    error_stats,
+    geometric_mean,
+    mean_absolute_percentage_error,
+    normalized,
+    relative_error,
+    tflops,
+)
+from .roofline import RooflinePoint, conv_roofline, gemm_roofline, ridge_intensity
+from .validation import ValidationPoint, ValidationRun
+
+__all__ = [
+    "ErrorStats",
+    "error_stats",
+    "geometric_mean",
+    "mean_absolute_percentage_error",
+    "normalized",
+    "relative_error",
+    "tflops",
+    "RooflinePoint",
+    "conv_roofline",
+    "gemm_roofline",
+    "ridge_intensity",
+    "ValidationPoint",
+    "ValidationRun",
+]

@@ -1,0 +1,67 @@
+"""Roofline helpers: arithmetic intensity and bound classification.
+
+Used by the experiment write-ups to annotate which regime each layer sits in
+(the stride experiments are at heart roofline-crossing stories) and by the
+Fig 18b layer selection rationale.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.conv_spec import ConvSpec, GemmShape
+
+__all__ = ["RooflinePoint", "conv_roofline", "gemm_roofline", "ridge_intensity"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RooflinePoint:
+    """One workload placed on a machine's roofline."""
+
+    intensity_flops_per_byte: float
+    attainable_tflops: float
+    peak_tflops: float
+    bound: str  # "compute" | "memory"
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.bound == "memory"
+
+
+def ridge_intensity(peak_tflops: float, bandwidth_gbps: float) -> float:
+    """The intensity at which the rooflines meet (FLOPs/byte)."""
+    if peak_tflops <= 0 or bandwidth_gbps <= 0:
+        raise ValueError("peak and bandwidth must be positive")
+    return peak_tflops * 1e12 / (bandwidth_gbps * 1e9)
+
+
+def _place(flops: int, traffic_bytes: int, peak_tflops: float, bandwidth_gbps: float):
+    if traffic_bytes <= 0:
+        raise ValueError("traffic must be positive")
+    intensity = flops / traffic_bytes
+    memory_roof = bandwidth_gbps * 1e9 * intensity / 1e12
+    attainable = min(peak_tflops, memory_roof)
+    bound = "compute" if memory_roof >= peak_tflops else "memory"
+    return RooflinePoint(
+        intensity_flops_per_byte=intensity,
+        attainable_tflops=attainable,
+        peak_tflops=peak_tflops,
+        bound=bound,
+    )
+
+
+def conv_roofline(
+    spec: ConvSpec, peak_tflops: float, bandwidth_gbps: float, elem_bytes: int = 2
+) -> RooflinePoint:
+    """Place a conv layer on the roofline using compulsory traffic
+    (IFMap + weights + OFMap, each moved once)."""
+    traffic = (
+        spec.ifmap_bytes(elem_bytes) + spec.filter_bytes(elem_bytes) + spec.ofmap_bytes(elem_bytes)
+    )
+    return _place(spec.flops, traffic, peak_tflops, bandwidth_gbps)
+
+
+def gemm_roofline(
+    shape: GemmShape, peak_tflops: float, bandwidth_gbps: float, elem_bytes: int = 2
+) -> RooflinePoint:
+    return _place(shape.flops, shape.bytes_moved(elem_bytes), peak_tflops, bandwidth_gbps)

@@ -1,0 +1,69 @@
+"""Simulator-vs-measurement comparison machinery (Figs 13, 14b, 15).
+
+A :class:`ValidationRun` collects (label, simulated, measured) points and
+summarises them the way the paper reports validation: per-point relative
+errors, the average error, and the layer-wise error distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence, Tuple
+
+from .metrics import ErrorStats, error_stats, mean_absolute_percentage_error, relative_error
+
+__all__ = ["ValidationPoint", "ValidationRun"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ValidationPoint:
+    """One workload's simulated-vs-measured pair (any consistent unit)."""
+
+    label: str
+    simulated: float
+    measured: float
+
+    @property
+    def error_pct(self) -> float:
+        return 100.0 * relative_error(self.simulated, self.measured)
+
+
+@dataclasses.dataclass
+class ValidationRun:
+    """An accumulating set of validation points."""
+
+    name: str
+    points: List[ValidationPoint] = dataclasses.field(default_factory=list)
+
+    def add(self, label: str, simulated: float, measured: float) -> ValidationPoint:
+        point = ValidationPoint(label=label, simulated=simulated, measured=measured)
+        self.points.append(point)
+        return point
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(p.label for p in self.points)
+
+    def mape(self) -> float:
+        """Mean absolute percentage error — the paper's headline number."""
+        return mean_absolute_percentage_error(
+            [p.simulated for p in self.points], [p.measured for p in self.points]
+        )
+
+    def stats(self) -> ErrorStats:
+        return error_stats(
+            [p.simulated for p in self.points], [p.measured for p in self.points]
+        )
+
+    def worst(self, k: int = 3) -> Sequence[ValidationPoint]:
+        """The k worst-validated points (useful when debugging the model)."""
+        return sorted(self.points, key=lambda p: p.error_pct, reverse=True)[:k]
+
+    def assert_mape_below(self, threshold_pct: float) -> None:
+        """Raise if the run's MAPE exceeds a threshold (used by tests)."""
+        actual = self.mape()
+        if actual > threshold_pct:
+            worst = ", ".join(f"{p.label}:{p.error_pct:.1f}%" for p in self.worst())
+            raise AssertionError(
+                f"{self.name}: MAPE {actual:.2f}% exceeds {threshold_pct}% (worst: {worst})"
+            )

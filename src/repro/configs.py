@@ -1,0 +1,79 @@
+"""Config (de)serialisation: hardware configs as plain dicts / JSON files.
+
+Design-space sweeps want to version their machine descriptions; this module
+round-trips :class:`~repro.systolic.config.TPUConfig` and
+:class:`~repro.gpu.config.GPUConfig` (with their nested HBM/SRAM/tile
+configs) through JSON-safe dicts, preserving every field and validating on
+load (construction re-runs the dataclasses' ``__post_init__`` checks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any, Dict
+
+from .gpu.config import GPUConfig, TileConfig
+from .memory.dram import HBMConfig
+from .memory.sram import SRAMConfig
+from .systolic.config import TPUConfig
+
+__all__ = [
+    "tpu_config_to_dict",
+    "tpu_config_from_dict",
+    "gpu_config_to_dict",
+    "gpu_config_from_dict",
+    "save_config",
+    "load_tpu_config",
+    "load_gpu_config",
+]
+
+
+def tpu_config_to_dict(config: TPUConfig) -> Dict[str, Any]:
+    return dataclasses.asdict(config)
+
+
+def gpu_config_to_dict(config: GPUConfig) -> Dict[str, Any]:
+    return dataclasses.asdict(config)
+
+
+def _build(cls, payload: Dict[str, Any], nested: Dict[str, Any]):
+    known = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    kwargs = dict(payload)
+    for name, builder in nested.items():
+        if name in kwargs and isinstance(kwargs[name], dict):
+            kwargs[name] = builder(**kwargs[name])
+    return cls(**kwargs)
+
+
+def tpu_config_from_dict(payload: Dict[str, Any]) -> TPUConfig:
+    return _build(TPUConfig, payload, {"hbm": HBMConfig, "sram": SRAMConfig})
+
+
+def gpu_config_from_dict(payload: Dict[str, Any]) -> GPUConfig:
+    return _build(GPUConfig, payload, {"tile": TileConfig})
+
+
+def save_config(config, path) -> pathlib.Path:
+    """Write any supported config as JSON; returns the path."""
+    path = pathlib.Path(path)
+    if isinstance(config, TPUConfig):
+        payload = tpu_config_to_dict(config)
+    elif isinstance(config, GPUConfig):
+        payload = gpu_config_to_dict(config)
+    else:
+        raise TypeError(f"unsupported config type {type(config).__name__}")
+    path.write_text(json.dumps(payload, indent=2))
+    return path
+
+
+def load_tpu_config(path) -> TPUConfig:
+    return tpu_config_from_dict(json.loads(pathlib.Path(path).read_text()))
+
+
+def load_gpu_config(path) -> GPUConfig:
+    return gpu_config_from_dict(json.loads(pathlib.Path(path).read_text()))

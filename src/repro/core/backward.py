@@ -1,0 +1,104 @@
+"""Convolution backward passes via the channel-first decomposition.
+
+The TPU-v2/v3 are *training* chips (Sec. IV-C notes batching "is common in
+training — a key focus of TPU-v2/v3"), so a credible release of this system
+must run the two backward GEMMs, and both lower through the same
+decomposed-1x1 machinery as the forward pass:
+
+- **Backward-data** (``dL/dIFMap``): each decomposed filter ``(r, s)``
+  contributed ``taps(r,s) @ W[:, :, r, s]^T`` to the output, so its gradient
+  contribution is ``dOFMap @ W[:, :, r, s]`` scattered back onto the taps —
+  a ``[M, C_O] x [C_O, C_I]`` GEMM per position followed by a strided
+  scatter-add (the adjoint of the forward's strided view).
+- **Backward-weights** (``dL/dW``): per position, the correlation of the
+  taps with the output gradient — ``taps^T @ dOFMap``, a
+  ``[C_I, M] x [M, C_O]`` GEMM per position.
+
+Both therefore decompose into ``H_F * W_F`` GEMMs exactly like the forward
+pass, which is why the channel-first hardware story covers training too.
+Results are validated against finite-difference-free analytic references in
+the tests (linearity makes the convolution its own derivative).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .channel_first import DecomposedFilter, decompose, decomposed_tile_view
+from .conv_spec import ConvSpec
+from .reference import pad_ifmap
+
+__all__ = ["conv2d_backward_data", "conv2d_backward_weights"]
+
+
+def _grad_matrix(grad_ofmap: np.ndarray, spec: ConvSpec) -> np.ndarray:
+    """(N, C_O, H_O, W_O) -> (M, C_O) in lowered-row order."""
+    if grad_ofmap.shape != spec.ofmap_shape:
+        raise ValueError(f"grad shape {grad_ofmap.shape} != {spec.ofmap_shape}")
+    return (
+        grad_ofmap.astype(np.float64)
+        .transpose(0, 2, 3, 1)
+        .reshape(spec.lowered_rows(), spec.c_out)
+    )
+
+
+def conv2d_backward_data(
+    grad_ofmap: np.ndarray,
+    weights: np.ndarray,
+    spec: ConvSpec,
+    order: Optional[Sequence[DecomposedFilter]] = None,
+) -> np.ndarray:
+    """Gradient w.r.t. the IFMap, via per-position GEMM + strided scatter.
+
+    Returns an array of ``spec.ifmap_shape`` (float64).
+    """
+    if weights.shape != spec.filter_shape:
+        raise ValueError(f"weights shape {weights.shape} != {spec.filter_shape}")
+    tiles = list(order) if order is not None else decompose(spec)
+    grad_rows = _grad_matrix(grad_ofmap, spec)
+
+    h_pad = spec.h_in + 2 * spec.padding
+    w_pad = spec.w_in + 2 * spec.padding
+    grad_padded = np.zeros((spec.n, spec.c_in, h_pad, w_pad))
+    h_span = (spec.h_out - 1) * spec.stride + 1
+    w_span = (spec.w_out - 1) * spec.stride + 1
+    for tile in tiles:
+        # [M, C_O] x [C_O, C_I] -> per-tap input gradients for this position.
+        w_slice = weights[:, :, tile.r, tile.s].astype(np.float64)  # (C_O, C_I)
+        per_tap = grad_rows @ w_slice  # (M, C_I)
+        taps = per_tap.reshape(spec.n, spec.h_out, spec.w_out, spec.c_in).transpose(0, 3, 1, 2)
+        y0 = tile.r * spec.dilation
+        x0 = tile.s * spec.dilation
+        grad_padded[
+            :, :, y0 : y0 + h_span : spec.stride, x0 : x0 + w_span : spec.stride
+        ] += taps
+    if spec.padding:
+        return grad_padded[:, :, spec.padding : -spec.padding, spec.padding : -spec.padding]
+    return grad_padded
+
+
+def conv2d_backward_weights(
+    ifmap: np.ndarray,
+    grad_ofmap: np.ndarray,
+    spec: ConvSpec,
+    order: Optional[Sequence[DecomposedFilter]] = None,
+) -> np.ndarray:
+    """Gradient w.r.t. the weights: per-position ``taps^T @ dOFMap``.
+
+    Returns an array of ``spec.filter_shape`` (float64).
+    """
+    if ifmap.shape != spec.ifmap_shape:
+        raise ValueError(f"ifmap shape {ifmap.shape} != {spec.ifmap_shape}")
+    tiles = list(order) if order is not None else decompose(spec)
+    grad_rows = _grad_matrix(grad_ofmap, spec)
+    padded = pad_ifmap(ifmap, spec.padding).astype(np.float64)
+    grad_weights = np.zeros(spec.filter_shape)
+    m = spec.lowered_rows()
+    for tile in tiles:
+        view = decomposed_tile_view(padded, spec, tile)
+        taps = view.transpose(0, 2, 3, 1).reshape(m, spec.c_in)  # (M, C_I)
+        # (C_I, M) x (M, C_O) -> (C_I, C_O); store transposed at (r, s).
+        grad_weights[:, :, tile.r, tile.s] = (taps.T @ grad_rows).T
+    return grad_weights

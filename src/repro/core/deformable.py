@@ -1,0 +1,140 @@
+"""Deformable convolution (Dai et al., the paper's reference [23]).
+
+The paper argues the channel-last/crossbar design "incurs significant
+performance overhead for common convolution variants such as strided and
+deformable convolution" — deformable conv replaces each filter tap's fixed
+offset with a learned fractional offset per output position, so the taps are
+*data-dependent gathers* that no offline bank-conflict-free layout can serve.
+
+The channel-first decomposition extends naturally: the computation is still
+``H_F*W_F`` accumulating 1x1 convolutions, only each decomposed tile's taps
+are gathered (with bilinear interpolation) instead of strided-viewed.  This
+module provides:
+
+- :func:`deformable_conv2d` — functional reference (zero-padded sampling,
+  bilinear interpolation), validated against plain convolution when all
+  offsets are zero;
+- :func:`deformable_tile_gather` — the per-decomposed-filter gathered tile
+  (the implicit lowered tile of the variant), mirroring
+  :func:`repro.core.channel_first.decomposed_tile_view`;
+- :func:`gather_traffic_elements` — the tap count the GPU/TPU fill models
+  price (4 bilinear reads per tap).
+
+Offsets use the standard layout: shape ``(N, 2 * H_F * W_F, H_O, W_O)``,
+ordered ``(dy, dx)`` per position, position-major.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .channel_first import DecomposedFilter, decompose
+from .conv_spec import ConvSpec
+from .reference import pad_ifmap
+
+__all__ = [
+    "zero_offsets",
+    "deformable_tile_gather",
+    "deformable_conv2d",
+    "gather_traffic_elements",
+]
+
+
+def zero_offsets(spec: ConvSpec) -> np.ndarray:
+    """The offset tensor that reduces deformable conv to plain conv."""
+    return np.zeros((spec.n, 2 * spec.positions, spec.h_out, spec.w_out))
+
+
+def _bilinear_sample(padded: np.ndarray, y: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Sample ``padded`` (N, C, H, W) at fractional (y, x) per (n, oy, ox).
+
+    ``y``/``x`` have shape (N, H_O, W_O); out-of-range samples read zeros
+    (consistent with zero padding).  Returns (N, C, H_O, W_O).
+    """
+    n, c, h, w = padded.shape
+    y0 = np.floor(y).astype(np.int64)
+    x0 = np.floor(x).astype(np.int64)
+    wy = y - y0
+    wx = x - x0
+    result = np.zeros((n, c) + y.shape[1:], dtype=np.float64)
+    batch_index = np.arange(n)[:, None, None]
+    for dy, dx, weight in (
+        (0, 0, (1 - wy) * (1 - wx)),
+        (0, 1, (1 - wy) * wx),
+        (1, 0, wy * (1 - wx)),
+        (1, 1, wy * wx),
+    ):
+        yy = y0 + dy
+        xx = x0 + dx
+        valid = (yy >= 0) & (yy < h) & (xx >= 0) & (xx < w)
+        yc = np.clip(yy, 0, h - 1)
+        xc = np.clip(xx, 0, w - 1)
+        sampled = padded[batch_index, :, yc, xc]  # (N, H_O, W_O, C)
+        sampled = np.where(valid[..., None], sampled, 0.0)
+        result += (weight[..., None] * sampled).transpose(0, 3, 1, 2)
+    return result
+
+
+def deformable_tile_gather(
+    padded_ifmap: np.ndarray,
+    spec: ConvSpec,
+    tile: DecomposedFilter,
+    offsets: np.ndarray,
+) -> np.ndarray:
+    """Gathered (N, C_I, H_O, W_O) taps of one decomposed filter.
+
+    The deformable analogue of the forward strided view: base coordinate
+    plus this position's learned fractional offset, bilinearly sampled.
+    """
+    expected = (spec.n, 2 * spec.positions, spec.h_out, spec.w_out)
+    if offsets.shape != expected:
+        raise ValueError(f"offsets shape {offsets.shape} != {expected}")
+    oy = np.arange(spec.h_out)[None, :, None]
+    ox = np.arange(spec.w_out)[None, None, :]
+    base_y = oy * spec.stride + tile.r * spec.dilation
+    base_x = ox * spec.stride + tile.s * spec.dilation
+    dy = offsets[:, 2 * tile.index]
+    dx = offsets[:, 2 * tile.index + 1]
+    y = base_y + dy
+    x = base_x + dx
+    return _bilinear_sample(padded_ifmap.astype(np.float64), y, x)
+
+
+def deformable_conv2d(
+    ifmap: np.ndarray,
+    weights: np.ndarray,
+    offsets: np.ndarray,
+    spec: ConvSpec,
+) -> np.ndarray:
+    """Deformable convolution via the channel-first decomposition.
+
+    Identical accumulation structure to
+    :func:`repro.core.channel_first.conv2d_channel_first`; only the tile
+    gather differs.  With :func:`zero_offsets` the result is bit-equal to
+    plain convolution (a test pins this).
+    """
+    if ifmap.shape != spec.ifmap_shape:
+        raise ValueError(f"ifmap shape {ifmap.shape} != {spec.ifmap_shape}")
+    if weights.shape != spec.filter_shape:
+        raise ValueError(f"weights shape {weights.shape} != {spec.filter_shape}")
+    padded = pad_ifmap(ifmap, spec.padding)
+    m = spec.lowered_rows()
+    accumulator = np.zeros((m, spec.c_out))
+    for tile in decompose(spec):
+        gathered = deformable_tile_gather(padded, spec, tile, offsets)
+        a_matrix = gathered.transpose(0, 2, 3, 1).reshape(m, spec.c_in)
+        b_matrix = weights[:, :, tile.r, tile.s].T.astype(np.float64)
+        accumulator += a_matrix @ b_matrix
+    return np.ascontiguousarray(
+        accumulator.reshape(spec.n, spec.h_out, spec.w_out, spec.c_out).transpose(0, 3, 1, 2)
+    )
+
+
+def gather_traffic_elements(spec: ConvSpec) -> int:
+    """IFMap elements a deformable fill touches: 4 bilinear corners per tap.
+
+    This is what makes deformable conv hostile to the channel-last design —
+    the 4x gather has no static structure — while the channel-first path
+    prices it as just another (4x heavier) per-tap gather.
+    """
+    return 4 * spec.lowered_rows() * spec.c_in * spec.positions

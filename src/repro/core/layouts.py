@@ -1,0 +1,119 @@
+"""Tensor memory-layout transforms.
+
+The paper's algorithm is inseparable from layout: the channel-first schedule
+wants the IFMap stored HWC in on-chip SRAM and HWC(N) in DRAM, while classical
+frameworks store CHW.  This module provides the layout tags and the (pure
+numpy, zero-surprise) permutations between them, plus flattened "DRAM image"
+views used by the access-pattern analysis in :mod:`repro.memory.access_pattern`.
+
+All functions take and return arrays whose *logical* indexing is NCHW and only
+change the physical ordering, so round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "Layout",
+    "nchw_to",
+    "to_nchw",
+    "flatten_index",
+    "dram_linear_address",
+]
+
+
+class Layout(enum.Enum):
+    """Physical orderings used in the paper.
+
+    - ``NCHW``: framework-default, channel-major per image ("CHW" in the paper
+      when batch is implicit).
+    - ``NHWC``: channel-first / HWC layout the paper proposes for DRAM+SRAM.
+    - ``HWCN``: the batched vector-memory layout of Sec. IV-A, where the batch
+      dimension fills the SRAM word.
+    - ``CHWN``: channel-major with batch innermost (used for comparison).
+    """
+
+    NCHW = "NCHW"
+    NHWC = "NHWC"
+    HWCN = "HWCN"
+    CHWN = "CHWN"
+
+    @property
+    def axes_from_nchw(self) -> Tuple[int, int, int, int]:
+        """Permutation applied to an NCHW array to reach this layout."""
+        return {
+            Layout.NCHW: (0, 1, 2, 3),
+            Layout.NHWC: (0, 2, 3, 1),
+            Layout.HWCN: (2, 3, 1, 0),
+            Layout.CHWN: (1, 2, 3, 0),
+        }[self]
+
+    @property
+    def axes_to_nchw(self) -> Tuple[int, int, int, int]:
+        """Permutation applied to an array in this layout to recover NCHW."""
+        forward = self.axes_from_nchw
+        inverse = [0, 0, 0, 0]
+        for position, axis in enumerate(forward):
+            inverse[axis] = position
+        return tuple(inverse)
+
+
+def nchw_to(tensor: np.ndarray, layout: Layout) -> np.ndarray:
+    """Physically reorder an NCHW tensor into ``layout`` (contiguous copy).
+
+    A contiguous copy (rather than a transposed view) is deliberate: the
+    memory models inspect the *physical* order via flat indices.
+    """
+    if tensor.ndim != 4:
+        raise ValueError(f"expected a 4-D NCHW tensor, got shape {tensor.shape}")
+    return np.ascontiguousarray(np.transpose(tensor, layout.axes_from_nchw))
+
+
+def to_nchw(tensor: np.ndarray, layout: Layout) -> np.ndarray:
+    """Inverse of :func:`nchw_to`."""
+    if tensor.ndim != 4:
+        raise ValueError(f"expected a 4-D tensor, got shape {tensor.shape}")
+    return np.ascontiguousarray(np.transpose(tensor, layout.axes_to_nchw))
+
+
+def flatten_index(
+    layout: Layout,
+    shape_nchw: Tuple[int, int, int, int],
+    n: int,
+    c: int,
+    h: int,
+    w: int,
+) -> int:
+    """Flat element offset of logical element ``(n, c, h, w)`` in ``layout``.
+
+    This is the core primitive of the DRAM access-pattern study (Fig 7): the
+    same logical read sequence maps to very different physical address
+    sequences under CHW vs HWC.
+    """
+    dim_n, dim_c, dim_h, dim_w = shape_nchw
+    if not (0 <= n < dim_n and 0 <= c < dim_c and 0 <= h < dim_h and 0 <= w < dim_w):
+        raise IndexError(f"({n},{c},{h},{w}) out of bounds for {shape_nchw}")
+    logical = {"N": (n, dim_n), "C": (c, dim_c), "H": (h, dim_h), "W": (w, dim_w)}
+    offset = 0
+    for axis_name in layout.value:
+        index, extent = logical[axis_name]
+        offset = offset * extent + index
+    return offset
+
+
+def dram_linear_address(
+    layout: Layout,
+    shape_nchw: Tuple[int, int, int, int],
+    n: int,
+    c: int,
+    h: int,
+    w: int,
+    elem_bytes: int = 2,
+    base: int = 0,
+) -> int:
+    """Byte address of a logical element in a DRAM image of the tensor."""
+    return base + elem_bytes * flatten_index(layout, shape_nchw, n, c, h, w)

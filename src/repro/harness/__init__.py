@@ -1,0 +1,5 @@
+"""Experiment harness: runners and text reports for every table and figure."""
+
+from .report import ExperimentResult, Table
+
+__all__ = ["ExperimentResult", "Table"]

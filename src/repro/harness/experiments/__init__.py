@@ -1,0 +1,2 @@
+"""One module per reproduced table/figure; each exposes ``run(quick=False)``
+returning an :class:`~repro.harness.report.ExperimentResult`."""

@@ -1,0 +1,146 @@
+"""Ablation and extension studies beyond the paper's figures.
+
+These exercise the design choices DESIGN.md calls out and the paper's
+qualitative claims that have no dedicated figure:
+
+- ``channel_last_tpu``: the Sec. II-C counterfactual — migrate the
+  Lym-et-al. schedule onto the TPU substrate and show the stride cliff the
+  real TPU does not exhibit (the strongest evidence for channel-first).
+- ``weight_fifo``: what the TPU's weight double-buffering buys.
+- ``dram_layout``: HWC vs CHW DRAM layout end-to-end on TPU conv time
+  (Sec. III's "DRAM Layout" argument, at layer scale).
+- ``reordering``: naive vs greedy decomposed-filter orders across strides.
+- ``variants``: dilated and deformable conv — channel-first vs the
+  channel-last ecosystem's options (Sec. II-C's "CONV variants" claim).
+- ``multicore``: data-parallel scaling across TPU cores.
+- ``energy_word_size``: Fig 16b extended from area to energy per MAC.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...core.channel_first import decompose
+from ...core.conv_spec import ConvSpec
+from ...core.layouts import Layout
+from ...core.reordering import greedy_reuse_order, order_reuse_fraction
+from ...gpu.config import V100
+from ...gpu.variants import (
+    deformable_conv_time_channel_first,
+    deformable_conv_time_fallback,
+    dilated_conv_times,
+)
+from ...systolic.channel_last_schedule import simulate_conv_channel_last
+from ...systolic.config import TPU_V2
+from ...systolic.energy import EnergyModel
+from ...systolic.multicore import scaling_efficiency
+from ...systolic.simulator import TPUSim
+from ..report import ExperimentResult, Table
+
+STUDY_LAYER = ConvSpec(
+    n=64, c_in=128, h_in=28, w_in=28, c_out=128,
+    h_filter=3, w_filter=3, stride=1, padding=1, name="ablation.28-128-128-3",
+)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult("ablations", "Design-choice ablations and CONV-variant extensions")
+    sim = TPUSim()
+
+    # ---------------------------------------------- channel-last on the TPU
+    table_cl = result.add_table(
+        Table(
+            "Counterfactual: channel-last schedule on the TPU (TFLOPS)",
+            ("stride", "channel-first", "channel-last", "CF advantage"),
+        )
+    )
+    strides = (1, 2) if quick else (1, 2, 4)
+    for stride in strides:
+        spec = STUDY_LAYER.with_stride(stride)
+        cf = sim.simulate_conv(spec).tflops
+        cl = simulate_conv_channel_last(spec, TPU_V2).tflops
+        table_cl.add_row(stride, cf, cl, cf / cl)
+    result.note(
+        "A channel-last TPU would lose most of its throughput at stride 4; the "
+        "measured TPU does not (Fig 4b) — the paper's core inference."
+    )
+
+    # ---------------------------------------------------------- weight FIFO
+    serial_cfg = dataclasses.replace(TPU_V2, weight_double_buffer=False)
+    table_wf = result.add_table(
+        Table("Weight-FIFO double buffering", ("config", "cycles", "TFLOPS"))
+    )
+    for label, config in (("with FIFO", TPU_V2), ("serial weight loads", serial_cfg)):
+        res = TPUSim(config).simulate_conv(STUDY_LAYER)
+        table_wf.add_row(label, res.cycles, res.tflops)
+    result.note("Serial weight loads expose K_t cycles per stationary tile.")
+
+    # ----------------------------------------------------------- DRAM layout
+    table_layout = result.add_table(
+        Table("DRAM layout for IFMap fills (TPU conv)", ("stride", "HWC cycles", "CHW cycles", "CHW/HWC"))
+    )
+    for stride in strides:
+        spec = STUDY_LAYER.with_stride(stride)
+        hwc = sim.simulate_conv(spec, layout=Layout.NHWC).cycles
+        chw = sim.simulate_conv(spec, layout=Layout.NCHW).cycles
+        table_layout.add_row(stride, hwc, chw, chw / hwc)
+    result.note("CHW fills fragment per channel; the penalty grows with stride (Fig 7 at layer scale).")
+
+    # ------------------------------------------------------------ reordering
+    table_order = result.add_table(
+        Table("Decomposed-filter visit order (reuse fraction)", ("stride", "naive", "greedy"))
+    )
+    for stride in strides:
+        spec = STUDY_LAYER.with_stride(stride)
+        naive = order_reuse_fraction(spec, decompose(spec))
+        greedy = order_reuse_fraction(spec, greedy_reuse_order(spec))
+        table_order.add_row(stride, naive, greedy)
+    result.note("Greedy reordering recovers reuse the raster order loses at stride > 1 (Sec. V).")
+
+    # --------------------------------------------------------- CONV variants
+    table_var = result.add_table(
+        Table(
+            "CONV variants on V100 (ms)",
+            ("variant", "channel-last / fallback", "channel-first", "speedup"),
+        )
+    )
+    dilated = dataclasses.replace(
+        STUDY_LAYER.with_batch(8), dilation=2, padding=2, name="dilated"
+    )
+    cl_time, cf_time = dilated_conv_times(dilated, V100)
+    table_var.add_row("dilated (d=2)", cl_time.seconds * 1e3, cf_time.seconds * 1e3,
+                      cl_time.seconds / cf_time.seconds)
+    deform = STUDY_LAYER.with_batch(8)
+    fallback = deformable_conv_time_fallback(deform, V100)
+    fused = deformable_conv_time_channel_first(deform, V100)
+    table_var.add_row("deformable", fallback.seconds * 1e3, fused.seconds * 1e3,
+                      fallback.seconds / fused.seconds)
+    result.note(
+        "Deformable conv forces the channel-last ecosystem into an explicit "
+        "gather + GEMM; fusing the gather into channel-first staging avoids "
+        "materialising the lowered matrix (Sec. II-C's variants claim)."
+    )
+
+    # ------------------------------------------------------------- multicore
+    table_mc = result.add_table(
+        Table("Data-parallel TPU cores (batch 64)", ("cores", "speedup", "efficiency"))
+    )
+    for cores, (speedup, efficiency) in scaling_efficiency(STUDY_LAYER).items():
+        table_mc.add_row(cores, speedup, efficiency)
+
+    # ------------------------------------------------------ energy vs word
+    table_e = result.add_table(
+        Table("Energy per MAC vs vector-memory word (pJ)", ("word (elems)", "pJ/MAC"))
+    )
+    words = (4, 8) if quick else (2, 4, 8, 16, 32)
+    for word in words:
+        config = TPU_V2.with_word_elems(word)
+        res = TPUSim(config).simulate_conv(STUDY_LAYER)
+        pj = EnergyModel(config=config).energy_per_mac_pj(STUDY_LAYER, res)
+        table_e.add_row(word, pj)
+    result.note(
+        "Narrow words pay the per-access overhead energy on every element; "
+        "widening to 8 elements captures most of the saving and further "
+        "widening flattens — the same knee the area curve shows (Fig 16b)."
+    )
+    return result

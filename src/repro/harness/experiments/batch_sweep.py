@@ -1,0 +1,70 @@
+"""Batch-size sensitivity (extension study).
+
+The paper evaluates at batch 8 (TPU validation, Fig 17) and batch 64
+(Fig 2); this study sweeps the batch and shows *why* those regimes behave
+as they do:
+
+- **TPU**: the HWCN layout packs the batch into the vector-memory word and
+  into each DRAM run — small batches fragment the fills and shrink the
+  GEMM's M dimension, so throughput climbs steeply to ~batch 8 (one word)
+  and saturates after.  This is the quantitative version of Sec. IV-C's
+  "TPU design is clever in leveraging the large word size through batching".
+- **GPU**: throughput rises with batch as the grid fills the SMs and
+  memory/launch overheads amortise, saturating once tiles outnumber the
+  machine.
+- The **explicit-on-TPU** column (the SCALE-Sim assumption) trails the
+  implicit path at every batch by the transform + lowered-streaming costs.
+"""
+
+from __future__ import annotations
+
+from ...core.conv_spec import ConvSpec
+from ...gpu.channel_first import channel_first_conv_time
+from ...gpu.config import V100
+from ...systolic.explicit_schedule import simulate_conv_explicit_tpu
+from ...systolic.simulator import TPUSim
+from ..report import ExperimentResult, Table
+
+STUDY_LAYER = ConvSpec(
+    n=1, c_in=128, h_in=28, w_in=28, c_out=128,
+    h_filter=3, w_filter=3, stride=1, padding=1, name="batchsweep.28-128-128-3",
+)
+
+BATCHES = (1, 2, 4, 8, 16, 32, 64)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult("batch_sweep", "Batch-size sensitivity across platforms")
+    sim = TPUSim()
+    batches = (1, 8, 64) if quick else BATCHES
+    table = result.add_table(
+        Table(
+            "TFLOPS vs batch (28x28, 128->128, 3x3)",
+            ("batch", "TPU implicit", "TPU explicit (SCALE-Sim-style)", "V100 channel-first"),
+        )
+    )
+    tpu_by_batch = {}
+    for batch in batches:
+        spec = STUDY_LAYER.with_batch(batch)
+        implicit = sim.simulate_conv(spec)
+        explicit = simulate_conv_explicit_tpu(spec)
+        gpu = channel_first_conv_time(spec, V100)
+        tpu_by_batch[batch] = implicit.tflops
+        table.add_row(
+            batch,
+            implicit.tflops,
+            explicit.tflops(sim.config.clock_ghz, spec.macs),
+            gpu.tflops,
+        )
+    if 1 in tpu_by_batch and 8 in tpu_by_batch:
+        result.note(
+            f"TPU throughput grows {tpu_by_batch[8] / tpu_by_batch[1]:.1f}x from batch 1 "
+            f"to batch 8 (one full vector-memory word) and "
+            f"{tpu_by_batch[max(batches)] / tpu_by_batch[8]:.2f}x beyond — batching is "
+            "what makes the large word size pay (Sec. IV-C)."
+        )
+    result.note(
+        "The explicit path trails the implicit one at every batch: the transform "
+        "pass plus streaming the lowered matrix from DRAM never amortises away."
+    )
+    return result

@@ -1,0 +1,106 @@
+"""Extended design-space exploration (beyond Fig 16).
+
+Two studies the paper's Fig 16 analysis points at but does not run:
+
+1. **HBM bandwidth sweep** — how much off-chip bandwidth does the 128x128
+   array actually need?  VGG16 throughput vs bandwidth locates the knee and
+   shows the Tbl. II choice of 700 GB/s sits just past it.
+2. **Second systolic array (the TPU-v3 move)** — Fig 16b observes >50% of
+   the vector-memory port bandwidth idle at word 8 and says that is why
+   TPU-v3 added another array.  We check feasibility per word size (the
+   ``2*arrays/word <= 1`` port budget) and simulate the dual-MXU core:
+   compute-bound layers scale ~2x on the same memories; memory-bound ones
+   do not, explaining why TPU-v3 also raised HBM bandwidth.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ...core.conv_spec import ConvSpec
+from ...memory.dram import HBMConfig
+from ...systolic.config import TPU_V2
+from ...systolic.dual_mxu import port_budget_allows, simulate_conv_dual_mxu
+from ...systolic.simulator import TPUSim
+from ...workloads.networks import vgg16
+from ..report import ExperimentResult, Table
+
+BANDWIDTHS = (100, 200, 400, 700, 1000, 1400)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        "design_space_plus", "Extended DSE: HBM bandwidth and the second systolic array"
+    )
+
+    # ------------------------------------------------------ bandwidth sweep
+    layers = vgg16(batch=8)
+    if quick:
+        layers = layers[:4]
+    table_bw = result.add_table(
+        Table("HBM bandwidth sweep (VGG16, batch 8)", ("GB/s", "TFLOPS", "vs 700 GB/s"))
+    )
+    tflops_by_bw = {}
+    for bw in BANDWIDTHS if not quick else (200, 700, 1400):
+        config = dataclasses.replace(
+            TPU_V2, hbm=dataclasses.replace(TPU_V2.hbm, peak_bandwidth_gbps=float(bw))
+        )
+        sim = TPUSim(config)
+        cycles = sum(sim.simulate_conv(layer).cycles for layer in layers)
+        macs = sum(layer.macs for layer in layers)
+        tflops_by_bw[bw] = 2 * macs * config.clock_ghz / cycles / 1e3
+    for bw, tflops in tflops_by_bw.items():
+        table_bw.add_row(bw, tflops, tflops / tflops_by_bw[700])
+    low = 100 if not quick else 200
+    result.note(
+        f"Single-array conv inference saturates early ({tflops_by_bw[low]:.1f} TFLOPS "
+        f"at {low} GB/s vs {tflops_by_bw[700]:.1f} at 700): the channel-first "
+        "pipeline keeps one MXU fed from a fraction of Tbl. II's bandwidth — the "
+        "700 GB/s provisioning is for training GEMMs and the multi-array configs "
+        "below, not for single-array conv."
+    )
+
+    # ---------------------------------------------------------- second MXU
+    table_port = result.add_table(
+        Table(
+            "Port budget: arrays feedable per word size",
+            ("word (elems)", "max arrays", "port demand at 2 arrays"),
+        )
+    )
+    for word in (2, 4, 8, 16):
+        config = TPU_V2.with_word_elems(word)
+        max_arrays = word // 2
+        table_port.add_row(word, max_arrays, 4 / word)
+    result.note(
+        "Word 8 feeds up to 4 arrays contention-free (2 with half the port "
+        "still idle); word 2 feeds exactly one — the feasibility behind the "
+        "paper's TPU-v3 remark."
+    )
+
+    table_mxu = result.add_table(
+        Table(
+            "Dual-MXU core (word 8, shared vector memories)",
+            ("layer", "1 array", "2 arrays @700GB/s", "2 arrays @100GB/s", "scaling", "scaling (starved)"),
+        )
+    )
+    sim = TPUSim()
+    starved = dataclasses.replace(
+        TPU_V2, hbm=dataclasses.replace(TPU_V2.hbm, peak_bandwidth_gbps=100.0)
+    )
+    study = [
+        ConvSpec(n=8, c_in=256, h_in=14, w_in=14, c_out=256,
+                 h_filter=3, w_filter=3, padding=1, name="14-256-256-3"),
+        ConvSpec(n=8, c_in=64, h_in=56, w_in=56, c_out=256,
+                 h_filter=1, w_filter=1, name="56-64-256-1"),
+    ]
+    for layer in study:
+        one = sim.simulate_conv(layer).tflops
+        two = simulate_conv_dual_mxu(layer, arrays=2).tflops
+        two_starved = simulate_conv_dual_mxu(layer, arrays=2, config=starved).tflops
+        table_mxu.add_row(layer.name, one, two, two_starved, two / one, two_starved / one)
+    result.note(
+        "At full bandwidth the second array nearly doubles throughput on the "
+        "same vector memories (the Fig 16b headroom cashed in); starve the HBM "
+        "and the scaling evaporates — why TPU-v3 raised bandwidth alongside."
+    )
+    return result

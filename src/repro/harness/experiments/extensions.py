@@ -1,0 +1,206 @@
+"""Extension studies: grouped/depthwise convolution, the skew-layout
+alternative, and training-step timing.
+
+These push the reproduced system into territory the paper motivates but does
+not evaluate:
+
+- ``depthwise``: grouped convs starve the GEMM engine's K dimension; the
+  multi-tile policy claws back what the filter size allows, but depthwise
+  remains the honest worst case of GEMM-based conv (why dedicated engines
+  exist for it).
+- ``skew layout``: the Sec. IV-A design alternative — physically skewing the
+  data instead of the addresses — priced as skew/restore passes around every
+  non-GEMM layer of VGG16.
+- ``training``: forward + backward-data + backward-weights volumes per
+  layer, all lowering through the same decomposed machinery (the TPU-v2's
+  actual job).
+"""
+
+from __future__ import annotations
+
+from ...core.conv_spec import ConvSpec, GemmShape
+from ...core.grouped import GroupedConvSpec, depthwise_spec
+from ...systolic.config import TPU_V2
+from ...systolic.network_scheduler import (
+    plan_residency,
+    residency_traffic_saved_bytes,
+    simulate_network_resident,
+)
+from ...systolic.simulator import TPUSim
+from ...systolic.vector_unit import skew_restore_cycles, skewed_layout_overhead
+from ...workloads.mobilenet import mobilenet_v1
+from ...workloads.networks import vgg16
+from ..report import ExperimentResult, Table
+
+
+def _simulate_grouped(sim: TPUSim, grouped: GroupedConvSpec):
+    """Grouped conv = groups x the per-group layer (sequential on one core)."""
+    per_group = sim.simulate_conv(grouped.per_group_spec())
+    cycles = per_group.cycles * grouped.groups
+    tflops = 2 * grouped.macs * sim.config.clock_ghz / cycles / 1e3
+    utilization = grouped.macs / (sim.config.peak_macs_per_cycle * cycles)
+    return cycles, tflops, utilization, per_group.group_size
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        "extensions", "Grouped/depthwise convs, the skew-layout alternative, training"
+    )
+    sim = TPUSim()
+
+    # ------------------------------------------------------- grouped sweep
+    table_g = result.add_table(
+        Table(
+            "Grouped conv on the TPU (C=256, 28x28, 3x3, batch 8)",
+            ("groups", "per-group C_I", "multi-tile", "TFLOPS", "utilization"),
+        )
+    )
+    base = ConvSpec(n=8, c_in=256, h_in=28, w_in=28, c_out=256,
+                    h_filter=3, w_filter=3, padding=1, name="grouped.base")
+    group_counts = (1, 4, 16) if quick else (1, 2, 4, 8, 16, 64, 256)
+    utilizations = {}
+    for groups in group_counts:
+        grouped = GroupedConvSpec(base=base, groups=groups)
+        cycles, tflops, utilization, tile = _simulate_grouped(sim, grouped)
+        utilizations[groups] = utilization
+        table_g.add_row(groups, base.c_in // groups, tile, tflops, utilization)
+    result.note(
+        "Grouping divides the GEMM's K depth; the multi-tile policy recovers "
+        "up to W_F x, but depthwise (groups=C) still collapses utilization — "
+        "the honest limit of GEMM-based convolution, and why production "
+        "compilers route depthwise layers to the vector unit instead of the MXU."
+    )
+
+    # --------------------------------------------------------- depthwise row
+    table_dw = result.add_table(
+        Table("Depthwise layers (MobileNet-style)", ("layer", "TFLOPS", "utilization"))
+    )
+    for channels, hw in ((32, 112), (128, 56), (512, 14)):
+        grouped = depthwise_spec(n=8, channels=channels, hw=hw)
+        cycles, tflops, utilization, _ = _simulate_grouped(sim, grouped)
+        table_dw.add_row(grouped.base.name, tflops, utilization)
+
+    # ------------------------------------------------------------ mobilenet
+    mobile_layers = mobilenet_v1(batch=8)
+    dense_cycles = 0.0
+    dense_macs = 0
+    dw_cycles = 0.0
+    dw_macs = 0
+    for layer in mobile_layers:
+        if isinstance(layer, GroupedConvSpec):
+            cycles, _, _, _ = _simulate_grouped(sim, layer)
+            dw_cycles += cycles
+            dw_macs += layer.macs
+        else:
+            dense_cycles += sim.simulate_conv(layer).cycles
+            dense_macs += layer.macs
+    table_mb = result.add_table(
+        Table(
+            "MobileNet-v1 on the TPU (batch 8)",
+            ("layer class", "MAC share", "cycle share", "TFLOPS"),
+        )
+    )
+    total_cycles = dense_cycles + dw_cycles
+    total_macs = dense_macs + dw_macs
+    clock = sim.config.clock_ghz
+    table_mb.add_row(
+        "stem + pointwise (MXU)", dense_macs / total_macs, dense_cycles / total_cycles,
+        2 * dense_macs * clock / dense_cycles / 1e3,
+    )
+    table_mb.add_row(
+        "depthwise (if forced onto the MXU)", dw_macs / total_macs, dw_cycles / total_cycles,
+        2 * dw_macs * clock / dw_cycles / 1e3,
+    )
+    result.note(
+        f"MobileNet's depthwise layers hold {100 * dw_macs / total_macs:.0f}% of the MACs "
+        f"but would eat {100 * dw_cycles / total_cycles:.0f}% of the cycles on the MXU — "
+        "the quantitative case for routing them elsewhere."
+    )
+
+    # ---------------------------------------------------------- skew layout
+    layers = vgg16(batch=8)
+    if quick:
+        layers = layers[:4]
+    conv_cycles = sum(sim.simulate_conv(layer).cycles for layer in layers)
+    skew_cycles = skewed_layout_overhead(layers)
+    table_skew = result.add_table(
+        Table(
+            "Skewed-data-layout alternative (VGG16, batch 8)",
+            ("quantity", "cycles", "fraction of conv time"),
+        )
+    )
+    table_skew.add_row("conv (channel-first, skewed addressing)", conv_cycles, 1.0)
+    table_skew.add_row("skew/restore passes (skewed layout)", skew_cycles,
+                       skew_cycles / conv_cycles)
+    result.note(
+        f"Physically skewing the layout would add {100 * skew_cycles / conv_cycles:.0f}% "
+        "of the conv time in skew/restore passes around non-GEMM layers — the "
+        "quantified version of Sec. IV-A's rejection."
+    )
+
+    # ------------------------------------------------------------- residency
+    from ...workloads.networks import network, network_names
+
+    table_res = result.add_table(
+        Table(
+            "Inter-layer activation residency (batch 8)",
+            ("network", "resident edges", "latency speedup", "DRAM GB saved", "traffic cut"),
+        )
+    )
+    residency_networks = ("VGG16",) if quick else ("VGG16", "ResNet", "YOLO")
+    for net_name in residency_networks:
+        net_layers = network(net_name, 8)
+        base_cycles = sum(sim.simulate_conv(layer).cycles for layer in net_layers)
+        resident = simulate_network_resident(net_name, net_layers).total_cycles
+        decisions = plan_residency(net_layers)
+        saved = residency_traffic_saved_bytes(net_layers)
+        elem = sim.config.compute_elem_bytes
+        baseline_traffic = sum(
+            layer.positions * layer.lowered_rows() * layer.c_in * elem
+            + layer.filter_bytes(elem)
+            + layer.ofmap_bytes(elem)
+            for layer in net_layers
+        )
+        table_res.add_row(
+            net_name,
+            f"{sum(d.resident for d in decisions)}/{len(decisions)}",
+            base_cycles / resident,
+            saved / 1e9,
+            saved / baseline_traffic,
+        )
+    result.note(
+        "Keeping chain-edge activations in the 32 MB SRAM barely moves latency "
+        "(the fills were already hidden under compute) but removes a real slice "
+        "of DRAM traffic — an energy win, not a speed win, on a balanced design."
+    )
+
+    # -------------------------------------------------------------- training
+    table_t = result.add_table(
+        Table(
+            "Training-step GEMM volumes (batch 8)",
+            ("layer", "forward", "bwd-data", "bwd-weights", "bwd/fwd ratio"),
+        )
+    )
+    training_layers = [
+        ConvSpec(n=8, c_in=128, h_in=28, w_in=28, c_out=128,
+                 h_filter=3, w_filter=3, padding=1, name="28-128-128-3"),
+        ConvSpec(n=8, c_in=512, h_in=14, w_in=14, c_out=512,
+                 h_filter=3, w_filter=3, padding=1, name="14-512-512-3"),
+    ]
+    for layer in training_layers:
+        forward = sim.simulate_conv(layer).cycles
+        m = layer.lowered_rows()
+        bwd_data = sim.simulate_gemm(
+            GemmShape(m=m, n=layer.c_in * layer.positions, k=layer.c_out)
+        ).cycles
+        bwd_weights = sim.simulate_gemm(
+            GemmShape(m=layer.c_in * layer.positions, n=layer.c_out, k=m)
+        ).cycles
+        table_t.add_row(
+            layer.name, forward, bwd_data, bwd_weights, (bwd_data + bwd_weights) / forward
+        )
+    result.note(
+        "Both backward passes lower through the same decomposed GEMM family; "
+        "a training step costs ~3x the forward conv, as expected."
+    )
+    return result

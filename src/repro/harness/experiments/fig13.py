@@ -1,0 +1,67 @@
+"""Fig 13: TPUSim validation against the TPU-v2 oracle.
+
+(a) GEMM microbenchmarks (M, N, K from 256 to 8192): paper reports 4.42%
+average error.  (b) CONV layers that do not trigger the multi-tile
+optimisation (C_I >= 128): paper reports 4.87%.
+
+The "measurement" is the independent analytic TPU-v2 oracle with
+deterministic noise (DESIGN.md substitutions); the experiment demonstrates
+that two independently constructed models of the machine agree to ~5%.
+"""
+
+from __future__ import annotations
+
+from ...analysis.validation import ValidationRun
+from ...oracle.tpu_oracle import TPUv2Oracle
+from ...systolic.simulator import TPUSim
+from ...workloads.synthetic import conv_validation_layers, gemm_sweep
+from ..report import ExperimentResult, Table
+
+
+def gemm_validation(quick: bool = False) -> ValidationRun:
+    sim = TPUSim()
+    oracle = TPUv2Oracle()
+    run_ = ValidationRun("fig13a-gemm")
+    shapes = gemm_sweep()
+    if quick:
+        shapes = shapes[:4]
+    for shape in shapes:
+        simulated = sim.simulate_gemm(shape).cycles
+        measured = oracle.measured_gemm_cycles(shape)
+        run_.add(f"{shape.m}x{shape.k}x{shape.n}", simulated, measured)
+    return run_
+
+
+def conv_validation(quick: bool = False) -> ValidationRun:
+    sim = TPUSim()
+    oracle = TPUv2Oracle()
+    run_ = ValidationRun("fig13b-conv")
+    layers = conv_validation_layers(batch=8)
+    if quick:
+        layers = layers[:4]
+    for layer in layers:
+        simulated = sim.simulate_conv(layer).cycles
+        measured = oracle.measured_conv_cycles(layer)
+        run_.add(layer.name, simulated, measured)
+    return run_
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult("fig13", "TPUSim vs TPU-v2 validation on microbenchmarks")
+
+    gemm_run = gemm_validation(quick)
+    table_a = result.add_table(
+        Table("Fig 13a: GEMM cycles", ("shape (MxKxN)", "TPUSim", "TPUv2", "error %"))
+    )
+    for point in gemm_run.points:
+        table_a.add_row(point.label, point.simulated, point.measured, point.error_pct)
+    result.note(f"GEMM average error: {gemm_run.mape():.2f}% (paper: 4.42%)")
+
+    conv_run = conv_validation(quick)
+    table_b = result.add_table(
+        Table("Fig 13b: CONV cycles", ("layer", "TPUSim", "TPUv2", "error %"))
+    )
+    for point in conv_run.points:
+        table_b.add_row(point.label, point.simulated, point.measured, point.error_pct)
+    result.note(f"CONV average error: {conv_run.mape():.2f}% (paper: 4.87%)")
+    return result

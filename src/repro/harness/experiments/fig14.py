@@ -1,0 +1,76 @@
+"""Fig 14: the multi-tile computation parameter (Sec. IV-B).
+
+(a) Sweep the multi-tile parameter on the study layer
+(N=8, C_I=8, W_I=C_O=128, W_F=3): the vector-memory workspace grows
+linearly while performance improves with diminishing returns, matching the
+TPU at 3 tiles.
+
+(b) Validate the inferred policy ``tiles = MIN(128/C_I, W_F)`` across a
+channel/filter sweep against the TPU-v2 oracle (paper: 5.3% average error).
+"""
+
+from __future__ import annotations
+
+from ...analysis.validation import ValidationRun
+from ...core.tiling import tpu_multi_tile_policy, workspace_elements
+from ...oracle.tpu_oracle import TPUv2Oracle
+from ...systolic.config import TPU_V2
+from ...systolic.simulator import TPUSim
+from ...workloads.synthetic import fig14_layer, small_channel_sweep
+from ..report import ExperimentResult, Table
+
+
+def policy_validation(quick: bool = False) -> ValidationRun:
+    sim = TPUSim()
+    oracle = TPUv2Oracle()
+    run_ = ValidationRun("fig14b-policy")
+    layers = small_channel_sweep(batch=8)
+    if quick:
+        layers = layers[:6]
+    for layer in layers:
+        simulated = sim.simulate_conv(layer).tflops  # policy applied by default
+        measured = oracle.measured_conv_tflops(layer)
+        run_.add(layer.name, simulated, measured)
+    return run_
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult("fig14", "Multi-tile parameter: effect and policy validation")
+    sim = TPUSim()
+    layer = fig14_layer(batch=8)
+    policy_tiles = tpu_multi_tile_policy(layer, TPU_V2.array_rows)
+
+    table_a = result.add_table(
+        Table(
+            "Fig 14a: tiles vs performance and workspace",
+            ("tiles", "TFLOPS", "speedup vs 1", "workspace (MB)"),
+        )
+    )
+    max_tiles = 4 if quick else 8
+    base_tflops = None
+    for tiles in range(1, max_tiles + 1):
+        res = sim.simulate_conv(layer, group_size=tiles)
+        if base_tflops is None:
+            base_tflops = res.tflops
+        workspace_mb = (
+            workspace_elements(layer, tiles) * TPU_V2.compute_elem_bytes / (1024 * 1024)
+        )
+        table_a.add_row(tiles, res.tflops, res.tflops / base_tflops, workspace_mb)
+    result.note(
+        f"Workspace grows linearly with the tile count up to W_F = {layer.w_filter} "
+        f"(our merge is row-aligned, so both workspace and performance plateau there; "
+        f"the paper's sweep shows workspace continuing linearly past the useful point). "
+        f"Inferred TPU policy for this layer: {policy_tiles} tiles (paper: TPU matches at 3)."
+    )
+
+    run_b = policy_validation(quick)
+    table_b = result.add_table(
+        Table(
+            "Fig 14b: policy validation (TFLOPS)",
+            ("layer", "TPUSim", "TPUv2", "error %"),
+        )
+    )
+    for point in run_b.points:
+        table_b.add_row(point.label, point.simulated, point.measured, point.error_pct)
+    result.note(f"Policy-validation average error: {run_b.mape():.2f}% (paper: 5.3%)")
+    return result

@@ -1,0 +1,64 @@
+"""Fig 15: end-to-end model validation, TPUSim vs TPU-v2, batch 8.
+
+(a) Per-network total conv latency, simulated vs measured.
+(b) Layer-wise error distribution across all conv layers of all networks
+(paper: MAE 5.8%).
+"""
+
+from __future__ import annotations
+
+from ...analysis.validation import ValidationRun
+from ...oracle.tpu_oracle import TPUv2Oracle
+from ...systolic.simulator import TPUSim
+from ...workloads.networks import network, network_names
+from ..report import ExperimentResult, Table
+
+BATCH = 8
+
+
+def layerwise_validation(quick: bool = False) -> ValidationRun:
+    sim = TPUSim()
+    oracle = TPUv2Oracle()
+    run_ = ValidationRun("fig15b-layers")
+    names = network_names()[:2] if quick else network_names()
+    for name in names:
+        for layer in network(name, BATCH):
+            simulated = sim.simulate_conv(layer).cycles
+            measured = oracle.measured_conv_cycles(layer)
+            run_.add(layer.name, simulated, measured)
+    return run_
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult("fig15", "End-to-end model validation (batch 8)")
+    sim = TPUSim()
+    oracle = TPUv2Oracle()
+    names = network_names()[:2] if quick else network_names()
+
+    table_a = result.add_table(
+        Table(
+            "Fig 15a: per-network conv latency (ms)",
+            ("network", "TPUSim", "TPUv2", "error %"),
+        )
+    )
+    clock = sim.config.clock_ghz * 1e9
+    model_run = ValidationRun("fig15a-models")
+    for name in names:
+        layers = network(name, BATCH)
+        simulated = sum(sim.simulate_conv(layer).cycles for layer in layers) / clock * 1e3
+        measured = oracle.measured_network_cycles(layers) / clock * 1e3
+        point = model_run.add(name, simulated, measured)
+        table_a.add_row(name, simulated, measured, point.error_pct)
+    result.note(f"Model-level average error: {model_run.mape():.2f}%")
+
+    layer_run = layerwise_validation(quick)
+    stats = layer_run.stats()
+    table_b = result.add_table(
+        Table(
+            "Fig 15b: layer-wise error distribution",
+            ("layers", "MAE %", "median %", "p90 %", "max %"),
+        )
+    )
+    table_b.add_row(stats.count, stats.mean_pct, stats.median_pct, stats.p90_pct, stats.max_pct)
+    result.note(f"Layer-wise MAE: {stats.mean_pct:.2f}% (paper: 5.8%)")
+    return result

@@ -1,0 +1,42 @@
+"""Fig 17: our GPU implementation vs cuDNN, normalized time, batch 8.
+
+Per network, the total conv time of our block-level channel-first
+implementation normalized to the cuDNN (channel-last model) baseline.
+Paper: almost identical, ~1% slower on average (cuDNN has
+microarchitecture-specific tuning unavailable to a from-source kernel).
+"""
+
+from __future__ import annotations
+
+from ...gpu.channel_first import channel_first_conv_time
+from ...gpu.config import V100
+from ...gpu.cudnn_model import cudnn_conv_time
+from ...workloads.networks import network, network_names
+from ..report import ExperimentResult, Table
+
+BATCH = 8
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult(
+        "fig17", "Our channel-first GPU implementation vs cuDNN (normalized time, batch 8)"
+    )
+    table = result.add_table(
+        Table("Fig 17", ("network", "cuDNN", "ours (normalized)", "ours (ms)"))
+    )
+    names = network_names()[:3] if quick else network_names()
+    ratios = []
+    for name in names:
+        layers = network(name, BATCH)
+        ours = sum(channel_first_conv_time(layer, V100).seconds for layer in layers)
+        cudnn = sum(cudnn_conv_time(layer, V100).seconds for layer in layers)
+        ratio = ours / cudnn
+        ratios.append(ratio)
+        table.add_row(name, 1.0, ratio, ours * 1e3)
+    mean_ratio = sum(ratios) / len(ratios)
+    result.note(
+        f"Average normalized time {mean_ratio:.3f} "
+        f"({100 * abs(mean_ratio - 1):.1f}% {'slower' if mean_ratio > 1 else 'faster'} "
+        "than cuDNN; paper: ~1% slower on average)."
+    )
+    return result

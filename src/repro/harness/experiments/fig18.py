@@ -1,0 +1,74 @@
+"""Fig 18: the two GPU optimization studies.
+
+(a) Strided convolution: our channel-first implementation's TFLOPS
+normalized to cuDNN on the stride>1 layers of the benchmark networks.
+Paper: on average 20%, up to 40% faster.
+
+(b) Inter-tile reuse: our implementation with the reuse-reordering of
+decomposed filters vs without, on layers whose global-memory access is not
+fully hidden by compute.  Paper: average 16.7% improvement.
+"""
+
+from __future__ import annotations
+
+from ...analysis.metrics import geometric_mean
+from ...gpu.channel_first import channel_first_conv_time
+from ...gpu.config import V100
+from ...gpu.cudnn_model import cudnn_conv_time
+from ...workloads.synthetic import memory_bound_layers, strided_layers
+from ..report import ExperimentResult, Table
+
+BATCH = 8
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    result = ExperimentResult("fig18", "GPU optimization studies: stride and inter-tile reuse")
+
+    table_a = result.add_table(
+        Table(
+            "Fig 18a: strided layers, ours vs cuDNN",
+            ("layer", "stride", "cuDNN TFLOPS", "ours TFLOPS", "speedup"),
+        )
+    )
+    layers = strided_layers(BATCH)
+    if quick:
+        layers = layers[:4]
+    speedups = []
+    for layer in layers:
+        ours = channel_first_conv_time(layer, V100)
+        cudnn = cudnn_conv_time(layer, V100)
+        speedup = cudnn.seconds / ours.seconds
+        speedups.append(speedup)
+        table_a.add_row(layer.name, layer.stride, cudnn.tflops, ours.tflops, speedup)
+    result.note(
+        f"Strided layers: geomean speedup {geometric_mean(speedups):.2f}x, "
+        f"max {max(speedups):.2f}x over cuDNN (paper: avg 1.20x, up to 1.40x)."
+    )
+
+    table_b = result.add_table(
+        Table(
+            "Fig 18b: inter-tile reuse impact",
+            ("layer", "no-reuse (ms)", "reuse (ms)", "improvement %", "reuse fraction"),
+        )
+    )
+    layers_b = memory_bound_layers(BATCH)
+    if quick:
+        layers_b = layers_b[:4]
+    improvements = []
+    for layer in layers_b:
+        baseline = channel_first_conv_time(layer, V100, reorder=False)
+        reordered = channel_first_conv_time(layer, V100, reorder=True)
+        gain = baseline.seconds / reordered.seconds - 1.0
+        improvements.append(gain)
+        table_b.add_row(
+            layer.name,
+            baseline.seconds * 1e3,
+            reordered.seconds * 1e3,
+            100 * gain,
+            reordered.reuse_fraction,
+        )
+    avg_gain = sum(improvements) / len(improvements)
+    result.note(
+        f"Inter-tile reuse: average improvement {100 * avg_gain:.1f}% (paper: 16.7%)."
+    )
+    return result

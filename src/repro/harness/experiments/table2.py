@@ -1,0 +1,24 @@
+"""Table II: the TPUSim configuration (a print-out, kept as an experiment so
+the benchmark suite pins the simulated machine's parameters)."""
+
+from __future__ import annotations
+
+from ...systolic.config import TPU_V2
+from ..report import ExperimentResult, Table
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    cfg = TPU_V2
+    result = ExperimentResult("table2", "TPU-v2 simulator configuration")
+    table = result.add_table(Table("Table II", ("parameter", "value")))
+    table.add_row("Systolic array", f"{cfg.array_rows} x {cfg.array_cols} @ {cfg.clock_ghz * 1000:.0f} MHz")
+    table.add_row("Vector ALUs", cfg.vector_alus)
+    table.add_row("On-chip memory", f"{cfg.unified_sram_bytes // (1024 * 1024)} MB unified")
+    table.add_row(
+        "Vector memories",
+        f"{cfg.num_vector_memories} SRAMs, word {cfg.sram_word_elems} x {cfg.sram_elem_bytes} B",
+    )
+    table.add_row("Off-chip memory", f"{cfg.hbm.peak_bandwidth_gbps:.0f} GB/s HBM")
+    table.add_row("Peak throughput", f"{cfg.peak_tflops:.1f} TFLOPS (bf16)")
+    result.note(cfg.describe())
+    return result

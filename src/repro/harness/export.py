@@ -1,0 +1,66 @@
+"""Machine-readable experiment export (JSON and CSV).
+
+The text reports are for humans; downstream tooling (plotting, regression
+tracking across commits) wants structured data.  ``result_to_dict`` gives a
+JSON-safe representation of an :class:`~repro.harness.report.ExperimentResult`;
+``write_results`` dumps a set of results into a directory as one
+``<id>.json`` plus one ``<id>.<table>.csv`` per table.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+import re
+from typing import Dict, Iterable, List
+
+from .report import ExperimentResult, Table
+
+__all__ = ["result_to_dict", "table_to_rows", "write_results", "slugify"]
+
+
+def slugify(text: str) -> str:
+    """A filesystem-safe slug for table titles."""
+    slug = re.sub(r"[^a-zA-Z0-9]+", "-", text.lower()).strip("-")
+    return slug or "table"
+
+
+def table_to_rows(table: Table) -> List[Dict[str, object]]:
+    """A table as a list of header->cell dicts (JSON/CSV friendly)."""
+    return [dict(zip(table.headers, row)) for row in table.rows]
+
+
+def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "tables": [
+            {
+                "title": table.title,
+                "headers": list(table.headers),
+                "rows": [list(row) for row in table.rows],
+            }
+            for table in result.tables
+        ],
+        "notes": list(result.notes),
+    }
+
+
+def write_results(results: Iterable[ExperimentResult], directory) -> List[pathlib.Path]:
+    """Write each result as JSON plus per-table CSVs; returns written paths."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[pathlib.Path] = []
+    for result in results:
+        json_path = directory / f"{result.experiment_id}.json"
+        json_path.write_text(json.dumps(result_to_dict(result), indent=2, default=str))
+        written.append(json_path)
+        for table in result.tables:
+            csv_path = directory / f"{result.experiment_id}.{slugify(table.title)}.csv"
+            with csv_path.open("w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(table.headers)
+                writer.writerows(table.rows)
+            written.append(csv_path)
+    return written

@@ -1,0 +1,102 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment produces an :class:`ExperimentResult` containing one or
+more :class:`Table` blocks (the same rows/series the paper's table or figure
+reports) plus free-form notes (the headline comparisons, e.g. "average error
+4.4%" or "explicit is 1.28x implicit").  The runner renders them to stdout;
+the benchmarks assert on their numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, List, Sequence
+
+__all__ = ["Table", "ExperimentResult", "fmt"]
+
+
+def fmt(value: Any) -> str:
+    """Uniform cell formatting: floats to 3 significant-ish places."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclasses.dataclass
+class Table:
+    """One titled table of rows."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = dataclasses.field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[Any]:
+        """Extract a column by header name (used by benchmarks' assertions)."""
+        try:
+            index = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {list(self.headers)}") from None
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [self.title]
+        header = " | ".join(str(h).ljust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in cells:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Everything one table/figure reproduction produced."""
+
+    experiment_id: str
+    title: str
+    tables: List[Table] = dataclasses.field(default_factory=list)
+    notes: List[str] = dataclasses.field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        self.tables.append(table)
+        return table
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def table(self, title: str) -> Table:
+        """Look up a produced table by title (benchmark assertions)."""
+        for table in self.tables:
+            if table.title == title:
+                return table
+        raise KeyError(f"no table {title!r} in {self.experiment_id}")
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        for table in self.tables:
+            parts.append(table.render())
+        if self.notes:
+            parts.append("Notes:")
+            parts.extend(f"  - {n}" for n in self.notes)
+        return "\n\n".join(parts)

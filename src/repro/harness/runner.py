@@ -1,0 +1,102 @@
+"""Experiment runner: regenerate any (or every) table/figure of the paper.
+
+Usage::
+
+    python -m repro.harness.runner            # run everything
+    python -m repro.harness.runner fig4 fig13 # run selected experiments
+    python -m repro.harness.runner --quick    # reduced workloads (CI-sized)
+
+Each experiment module exposes ``run(quick=False) -> ExperimentResult``; the
+registry below is the complete per-experiment index from DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .experiments import (
+    ablations,
+    batch_sweep,
+    design_space_plus,
+    extensions,
+    sparsity,
+    fig2,
+    fig4,
+    fig7,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    table1,
+    table2,
+)
+from .report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "main"]
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "fig2": fig2.run,
+    "fig4": fig4.run,
+    "fig7": fig7.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+    "fig15": fig15.run,
+    "fig16": fig16.run,
+    "fig17": fig17.run,
+    "fig18": fig18.run,
+    "ablations": ablations.run,
+    "extensions": extensions.run,
+    "batch_sweep": batch_sweep.run,
+    "sparsity": sparsity.run,
+    "design_space_plus": design_space_plus.run,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
+    """Run one experiment by id (see DESIGN.md's per-experiment index)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(quick=quick)
+
+
+def run_all(quick: bool = False) -> List[ExperimentResult]:
+    return [run_experiment(eid, quick=quick) for eid in EXPERIMENTS]
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
+    parser.add_argument("--quick", action="store_true", help="reduced workloads")
+    parser.add_argument(
+        "--export-dir",
+        default=None,
+        help="also write <id>.json and per-table CSVs into this directory",
+    )
+    args = parser.parse_args(argv)
+    ids = args.experiments or list(EXPERIMENTS)
+    results = []
+    for eid in ids:
+        result = run_experiment(eid, quick=args.quick)
+        results.append(result)
+        print(result.render())
+        print()
+    if args.export_dir:
+        from .export import write_results
+
+        paths = write_results(results, args.export_dir)
+        print(f"exported {len(paths)} files to {args.export_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

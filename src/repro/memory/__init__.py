@@ -1,0 +1,27 @@
+"""Memory substrates: the HBM/DRAM timing model (DRAMSim3 substitute), the
+analytic SRAM macro model (CACTI/OpenRAM substitute) and the access-pattern
+machinery that connects convolution tile fills to DRAM behaviour."""
+
+from .dram import HBMConfig, HBMModel, TransferStats, run_length_stats
+from .sram import SRAMConfig, SRAMModel
+from .access_pattern import (
+    LayoutFillResult,
+    analytic_fill_stats,
+    compare_layout_fill,
+    fill_stats,
+    tile_fill_addresses,
+)
+
+__all__ = [
+    "HBMConfig",
+    "HBMModel",
+    "TransferStats",
+    "run_length_stats",
+    "SRAMConfig",
+    "SRAMModel",
+    "LayoutFillResult",
+    "analytic_fill_stats",
+    "compare_layout_fill",
+    "fill_stats",
+    "tile_fill_addresses",
+]

@@ -1,0 +1,9 @@
+"""Hardware-measurement stand-ins (see DESIGN.md substitution table):
+an analytic TPU-v2 oracle and a cuDNN/V100 oracle, both with deterministic
+measurement noise."""
+
+from .noise import deterministic_noise
+from .tpu_oracle import TPUv2Oracle
+from .gpu_oracle import GPUOracle
+
+__all__ = ["deterministic_noise", "TPUv2Oracle", "GPUOracle"]

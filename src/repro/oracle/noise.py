@@ -1,0 +1,17 @@
+"""Deterministic measurement-noise injection.
+
+The hardware stand-ins (TPU-v2 oracle, cuDNN model) perturb their analytic
+outputs with noise so validation experiments exercise real error statistics
+instead of comparing a model to itself.  The noise is a pure function of a
+string key and a seed — stable across runs, processes and platforms — so
+every experiment is bit-reproducible.
+
+(Implementation lives in :mod:`repro.util` to keep the dependency graph
+acyclic; this module is the documented home.)
+"""
+
+from __future__ import annotations
+
+from ..util import deterministic_noise
+
+__all__ = ["deterministic_noise"]

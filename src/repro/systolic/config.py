@@ -1,0 +1,111 @@
+"""TPUSim configuration (Tbl. II of the paper).
+
+One :class:`TPUConfig` instance describes a single TPU-v2-like core: the
+systolic array geometry, the 128 independent vector memories with their word
+size, and the HBM interface.  The design-space-exploration experiments
+(Fig 16) work by sweeping fields of this dataclass, so everything the
+simulator consumes is parameterised here and nothing is hard-coded
+downstream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..memory.dram import HBMConfig
+from ..memory.sram import SRAMConfig
+
+__all__ = ["TPUConfig", "TPU_V2"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TPUConfig:
+    """Parameters of one simulated TPU core.
+
+    Defaults reproduce Tbl. II: a 128x128 weight-stationary systolic array at
+    700 MHz, a 32 MB unified on-chip memory organised as 128 single-port SRAM
+    arrays ("vector memories") with an 8-element x 4-byte word, and 700 GB/s
+    of HBM.
+    """
+
+    array_rows: int = 128  # PE rows == K dimension fed from vector memories
+    array_cols: int = 128  # PE columns == N dimension (output channels)
+    clock_ghz: float = 0.7
+    num_vector_memories: int = 128
+    sram_word_elems: int = 8  # elements per vector-memory word
+    sram_elem_bytes: int = 4  # Tbl. II: 8 x 4 bytes per word
+    unified_sram_bytes: int = 32 * 1024 * 1024
+    vector_alus: int = 256
+    hbm: HBMConfig = dataclasses.field(default_factory=HBMConfig)
+    sram: SRAMConfig = dataclasses.field(default_factory=SRAMConfig)
+    # Compute datatype fed to the array (bf16/fp16 on TPU-v2).
+    compute_elem_bytes: int = 2
+    # Cycles to shift one weight tile into the stationary array per row; the
+    # array loads weights column-by-column so a full K_t x N_t tile costs
+    # K_t * weight_load_cycles_per_row cycles.
+    weight_load_cycles_per_row: float = 1.0
+    # Fixed per-tile instruction/setup overhead, cycles.
+    tile_setup_cycles: float = 8.0
+    # TPU-style weight FIFO: the next stationary tile shifts in behind the
+    # current one, so weight load overlaps streaming (per-tile occupancy is
+    # max(stream, weight_load)) and consecutive tiles pipeline back-to-back
+    # (fill/drain skew paid once per schedule, not per tile).  Disabling this
+    # reverts to fully-serialised tiles.
+    weight_double_buffer: bool = True
+
+    def __post_init__(self) -> None:
+        if self.array_rows <= 0 or self.array_cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock must be positive")
+        if self.num_vector_memories != self.array_rows:
+            raise ValueError(
+                "the TPU organisation ties one vector memory to one PE row "
+                f"(got {self.num_vector_memories} memories, {self.array_rows} rows)"
+            )
+        if self.sram_word_elems <= 0 or self.sram_elem_bytes <= 0:
+            raise ValueError("SRAM word geometry must be positive")
+        if self.unified_sram_bytes <= 0:
+            raise ValueError("SRAM capacity must be positive")
+        if self.compute_elem_bytes <= 0:
+            raise ValueError("element size must be positive")
+
+    # ------------------------------------------------------------- derived
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        return self.array_rows * self.array_cols
+
+    @property
+    def peak_tflops(self) -> float:
+        """Peak TFLOPS (2 FLOPs per MAC)."""
+        return 2 * self.peak_macs_per_cycle * self.clock_ghz * 1e9 / 1e12
+
+    @property
+    def sram_word_bytes(self) -> int:
+        return self.sram_word_elems * self.sram_elem_bytes
+
+    @property
+    def per_memory_bytes(self) -> int:
+        """Capacity of one vector memory."""
+        return self.unified_sram_bytes // self.num_vector_memories
+
+    def with_array(self, size: int) -> "TPUConfig":
+        """A copy with a square array of ``size`` (vector memories track rows)."""
+        return dataclasses.replace(
+            self, array_rows=size, array_cols=size, num_vector_memories=size
+        )
+
+    def with_word_elems(self, word_elems: int) -> "TPUConfig":
+        return dataclasses.replace(self, sram_word_elems=word_elems)
+
+    def describe(self) -> str:
+        return (
+            f"TPU[{self.array_rows}x{self.array_cols} @ {self.clock_ghz} GHz, "
+            f"{self.unified_sram_bytes // (1024 * 1024)} MB SRAM in "
+            f"{self.num_vector_memories} arrays (word {self.sram_word_elems}x"
+            f"{self.sram_elem_bytes} B), {self.hbm.peak_bandwidth_gbps:.0f} GB/s HBM]"
+        )
+
+
+#: The canonical Tbl. II configuration used throughout the evaluation.
+TPU_V2 = TPUConfig()

@@ -1,0 +1,139 @@
+"""DMA fill engine: prices DRAM <-> vector-memory transfers.
+
+Sits between the HBM model and the tile scheduler.  Every quantity the
+scheduler needs is expressed as "core cycles to move this tile":
+
+- :meth:`FillEngine.ifmap_tile_fill_cycles` — filling the vector memories
+  with one (multi-tile merged) channel-first input tile.  The run-length
+  structure comes from the DRAM layout: under HWC the channel groups of
+  consecutive taps coalesce into long runs; under CHW they fragment
+  (Sec. III "DRAM Layout", Fig 7).
+- :meth:`FillEngine.weight_fill_cycles` — staging a stationary weight tile.
+- :meth:`FillEngine.ofmap_drain_cycles` — writing finished OFMap rows back.
+
+The engine is deliberately stateless; double-buffering/overlap policy
+belongs to the scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..core.conv_spec import ConvSpec
+from ..core.layouts import Layout
+from ..memory.dram import HBMModel, TransferStats
+from .config import TPUConfig
+
+__all__ = ["FillEngine"]
+
+
+class FillEngine:
+    """Prices tile movement for one TPU core."""
+
+    def __init__(self, config: TPUConfig, hbm: HBMModel = None):
+        self.config = config
+        self.hbm = hbm if hbm is not None else HBMModel(config.hbm)
+
+    # ------------------------------------------------------------ IFMap fills
+    def ifmap_tile_fill_cycles(
+        self,
+        spec: ConvSpec,
+        rows: int,
+        group_size: int,
+        layout: Layout = Layout.NHWC,
+    ) -> float:
+        """Cycles to fill the vector memories for ``rows`` output pixels of a
+        ``group_size``-way merged channel-first tile.
+
+        Payload: ``rows * C_I * group_size`` elements (multi-tile duplication
+        included, Fig 11).  Run structure per layout:
+
+        - HWC, stride 1: consecutive taps of a tile are adjacent pixels, so a
+          whole tile row (``W_O * C_I`` elements) is one contiguous run.
+        - HWC, stride > 1: each tap's ``C_I`` channel group is its own run.
+        - CHW: runs never span channels — ``W_O`` elements (stride 1) or one
+          element (stride > 1) per run.
+        """
+        if rows <= 0 or group_size <= 0:
+            raise ValueError("rows and group_size must be positive")
+        elem = self.config.compute_elem_bytes
+        payload = rows * spec.c_in * group_size * elem
+        # ``rows`` counts lowered-matrix rows (output pixels x batch); in the
+        # HWC(N) DRAM layout the batch and channel dimensions of one spatial
+        # tap are contiguous, so the run structure is per *spatial* tap.
+        spatial_taps = max(1, math.ceil(rows / spec.n))
+        tap_run_bytes = spec.c_in * spec.n * elem
+        contiguous = spec.stride == 1 and spec.dilation == 1
+        if layout in (Layout.NHWC, Layout.HWCN):
+            if contiguous:
+                runs = max(1, math.ceil(spatial_taps / spec.w_out))
+            else:
+                runs = spatial_taps
+        elif layout in (Layout.NCHW, Layout.CHWN):
+            # Channel-major: runs never span channels.
+            if contiguous:
+                runs = max(1, math.ceil(spatial_taps / spec.w_out)) * spec.c_in
+            else:
+                runs = spatial_taps * spec.c_in
+        else:
+            raise ValueError(f"unsupported layout {layout}")
+        runs *= group_size  # each merged tile contributes its own run set
+        # Touched address span: within an input row, taps are spaced
+        # ``stride`` pixels apart, so the covering span is ~stride x the
+        # payload; H-strided *rows* are skipped entirely and never touched,
+        # so the H stride does not expand the span (clamped to the IFMap).
+        span = min(
+            spatial_taps * spec.stride * tap_run_bytes * group_size,
+            spec.ifmap_bytes(elem) * group_size,
+        )
+        span = max(span, payload)
+        return self.hbm.transfer_cycles(
+            TransferStats(bytes=payload, runs=runs, span_bytes=span)
+        )
+
+    def sliding_window_fill_cycles(self, spec: ConvSpec, rows: int) -> float:
+        """Fill cost of the *channel-last* scheme for the same output rows.
+
+        The channel-last implicit method stages the IFMap region covering the
+        sliding windows of those rows; its size is governed by the **input**
+        footprint, not the output count, so it does not shrink with stride —
+        the asymmetry behind Fig 3/4.  Footprint per output row block:
+        ``(rows/W_O * stride + H_F - stride)`` input rows of ``W_I * C_I``.
+        """
+        if rows <= 0:
+            raise ValueError("rows must be positive")
+        out_rows = max(1, math.ceil(rows / spec.w_out))
+        in_rows = min(spec.h_in, (out_rows - 1) * spec.stride + spec.h_filter)
+        payload = in_rows * spec.w_in * spec.c_in * self.config.compute_elem_bytes
+        runs = in_rows  # one run per input row (HWC-contiguous within a row)
+        return self.hbm.transfer_cycles(TransferStats(bytes=payload, runs=runs))
+
+    # ----------------------------------------------------------- weights/OFMap
+    def weight_fill_cycles(self, k: int, n: int) -> float:
+        """Cycles to stage a ``k x n`` stationary weight tile from DRAM.
+
+        Weights are stored pre-flattened (HWC-ordered rows), contiguous.
+        """
+        if k <= 0 or n <= 0:
+            raise ValueError("weight tile dims must be positive")
+        payload = k * n * self.config.compute_elem_bytes
+        return self.hbm.contiguous_cycles(payload)
+
+    def ofmap_drain_cycles(self, rows: int, cols: int) -> float:
+        """Cycles to write ``rows x cols`` finished OFMap elements to DRAM.
+
+        The de-serializers pack results HWC-contiguously, so the drain is a
+        clean stream.
+        """
+        if rows <= 0 or cols <= 0:
+            raise ValueError("OFMap tile dims must be positive")
+        payload = rows * cols * self.config.compute_elem_bytes
+        return self.hbm.contiguous_cycles(payload)
+
+    # ------------------------------------------------------------- GEMM (A/B/C)
+    def gemm_a_fill_cycles(self, m: int, k: int) -> float:
+        """Stream an ``m x k`` A-panel (row-major contiguous)."""
+        if m <= 0 or k <= 0:
+            raise ValueError("panel dims must be positive")
+        payload = m * k * self.config.compute_elem_bytes
+        return self.hbm.contiguous_cycles(payload)

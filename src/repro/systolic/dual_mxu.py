@@ -1,0 +1,93 @@
+"""The TPU-v3 move: a second systolic array on the same vector memories.
+
+Fig 16b's closing insight is that at word size 8 the vector-memory ports sit
+>50% idle, and that "this insight explains why the TPUv3 chooses to add
+another systolic array to leverage this extra vector memory bandwidth".
+This module operationalises that observation:
+
+- :func:`port_budget_allows` — the feasibility check: ``arrays`` MXUs fed
+  from one set of vector memories demand ``2 * arrays / word_elems`` of each
+  port; the design is contention-free while that is <= 1.  Word 8 admits up
+  to 4 arrays; word 2 admits exactly one — the quantitative version of the
+  paper's sentence.
+- :func:`simulate_conv_dual_mxu` — timing with ``arrays`` MXUs splitting the
+  schedule's work items round-robin while *sharing* the HBM interface: the
+  compute side scales, the DMA side does not, so memory-bound layers stop
+  scaling — which is also why TPU-v3 raised the HBM bandwidth alongside.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from ..core.conv_spec import ConvSpec
+from .config import TPUConfig, TPU_V2
+from .scheduler import WorkItem, channel_first_schedule
+from .simulator import LayerResult
+
+__all__ = ["port_budget_allows", "simulate_conv_dual_mxu"]
+
+
+def port_budget_allows(arrays: int, config: TPUConfig = TPU_V2) -> bool:
+    """Can ``arrays`` MXUs share the vector memories without port contention?
+
+    Each array demands one read and one write per memory per ``word_elems``
+    cycles (Sec. IV-A's cadence), so the port budget is
+    ``2 * arrays / word_elems <= 1``.
+    """
+    if arrays <= 0:
+        raise ValueError(f"arrays must be positive, got {arrays}")
+    return 2 * arrays / config.sram_word_elems <= 1.0
+
+
+def _execute_multi_array(items: List[WorkItem], arrays: int) -> tuple:
+    """Round-robin the items over ``arrays`` compute engines sharing one
+    read and one write DMA channel.  Returns (total, compute_busy, dma_busy,
+    macs)."""
+    read_free = 0.0
+    write_free = 0.0
+    compute_free = [0.0] * arrays
+    compute_busy = 0.0
+    dma_busy = 0.0
+    macs = 0
+    for i, item in enumerate(items):
+        engine = i % arrays
+        read_free += item.fill_cycles
+        dma_busy += item.fill_cycles
+        start = max(compute_free[engine], read_free)
+        compute_free[engine] = start + item.gemm_cycles
+        compute_busy += item.gemm_cycles
+        if item.drain_cycles:
+            write_free = max(write_free, compute_free[engine]) + item.drain_cycles
+            dma_busy += item.drain_cycles
+        macs += item.macs
+    total = max(max(compute_free), read_free, write_free)
+    return total, compute_busy, dma_busy, macs
+
+
+def simulate_conv_dual_mxu(
+    spec: ConvSpec, arrays: int = 2, config: TPUConfig = TPU_V2
+) -> LayerResult:
+    """Timing with ``arrays`` MXUs sharing the vector memories and HBM.
+
+    Raises if the word size cannot feed that many arrays — the feasibility
+    constraint that makes word-8 special.
+    """
+    if not port_budget_allows(arrays, config):
+        raise ValueError(
+            f"word size {config.sram_word_elems} cannot feed {arrays} arrays "
+            f"(port demand {2 * arrays / config.sram_word_elems:.2f} > 1)"
+        )
+    items = channel_first_schedule(spec, config)
+    total, compute_busy, dma_busy, _ = _execute_multi_array(items, arrays)
+    return LayerResult(
+        name=f"mxu-x{arrays}:{spec.describe()}",
+        cycles=total,
+        tflops=2 * spec.macs * config.clock_ghz / total / 1e3,
+        utilization=spec.macs / (arrays * config.peak_macs_per_cycle * total),
+        compute_cycles=compute_busy,
+        dma_cycles=dma_busy,
+        exposed_dma_cycles=max(0.0, total - compute_busy / arrays),
+        macs=spec.macs,
+    )

@@ -1,0 +1,94 @@
+"""Energy accounting for TPUSim (an extension beyond the paper's evaluation).
+
+The paper's design arguments are implicitly energy arguments — the word-size
+study (Fig 16b) prices SRAM *area*, and the whole point of implicit im2col is
+avoiding data movement.  This module closes the loop with a per-layer energy
+model so the design-space experiments can also report Joules:
+
+    E = E_mac * MACs                                  (compute)
+      + E_sram_access(word) * vector-memory accesses  (on-chip movement)
+      + E_dram_per_byte * DRAM traffic                (off-chip movement)
+      + P_static * cycles / f                         (leakage/clock)
+
+Constants are 28-nm-class textbook numbers (Horowitz, ISSCC'14 scale):
+~0.2 pJ/16-bit MAC, ~10-40 pJ/32 B SRAM word (from the calibrated
+:class:`~repro.memory.sram.SRAMModel`), ~10 pJ/byte of HBM traffic.  The
+absolute Joules are indicative; the *ratios* across layouts, word sizes and
+schedules are the quantities the ablations assert on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.conv_spec import ConvSpec
+from ..memory.sram import SRAMModel
+from .config import TPUConfig, TPU_V2
+from .simulator import LayerResult
+
+__all__ = ["EnergyBreakdown", "EnergyModel"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent by one layer, by component."""
+
+    compute_j: float
+    sram_j: float
+    dram_j: float
+    static_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.sram_j + self.dram_j + self.static_j
+
+    def fraction(self, component: str) -> float:
+        value = getattr(self, f"{component}_j")
+        return value / self.total_j if self.total_j > 0 else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class EnergyModel:
+    """Energy constants + the config they apply to."""
+
+    config: TPUConfig = TPU_V2
+    mac_pj: float = 0.2  # per bf16 MAC (MAC + local register movement)
+    dram_pj_per_byte: float = 10.0
+    static_watts: float = 8.0  # leakage + clock tree for one core
+
+    def sram_word_access_pj(self) -> float:
+        """Energy of one vector-memory word access, from the macro model."""
+        sram = SRAMModel(self.config.sram)
+        return sram.access_energy_pj(self.config.sram_word_bytes)
+
+    def layer_energy(self, spec: ConvSpec, result: LayerResult) -> EnergyBreakdown:
+        """Price a simulated layer.
+
+        Vector-memory accesses: during the ``compute_cycles`` the array
+        streams, each of the active memories is read once and written once
+        per ``word_elems`` cycles (Sec. IV-A's cadence); DRAM traffic is
+        approximated by the compulsory volume plus multi-tile duplication
+        (group_size re-stages of the IFMap region per decomposed pass is
+        already folded into the simulator's DMA cycles, so we reconstruct
+        bytes from them at the peak rate — a faithful inverse of the fill
+        pricing).
+        """
+        cfg = self.config
+        compute_j = self.mac_pj * 1e-12 * result.macs
+        word_accesses = (
+            2.0 * cfg.num_vector_memories * result.compute_cycles / cfg.sram_word_elems
+        )
+        sram_j = self.sram_word_access_pj() * 1e-12 * word_accesses
+        dram_bytes = result.dma_cycles * cfg.hbm.bytes_per_cycle
+        dram_j = self.dram_pj_per_byte * 1e-12 * dram_bytes
+        seconds = result.cycles / (cfg.clock_ghz * 1e9)
+        static_j = self.static_watts * seconds
+        return EnergyBreakdown(
+            compute_j=compute_j, sram_j=sram_j, dram_j=dram_j, static_j=static_j
+        )
+
+    def energy_per_mac_pj(self, spec: ConvSpec, result: LayerResult) -> float:
+        """Total pJ per algorithmic MAC — the efficiency figure of merit."""
+        if result.macs <= 0:
+            raise ValueError("result has no MACs")
+        return self.layer_energy(spec, result).total_j * 1e12 / result.macs

@@ -1,0 +1,90 @@
+"""Explicit im2col on the TPU — the SCALE-Sim assumption, priced honestly.
+
+The related work the paper positions against (SCALE-Sim and the sparse-
+accelerator literature) "assumes an explicit im2col execution method": the
+lowered matrix exists in DRAM and the systolic array runs a plain GEMM over
+it.  The TPU has no GPU to run the transform, so on-platform the lowering
+itself must run on the vector units (a pure data-movement pass through the
+vector memories) and the lowered matrix must make a DRAM round trip.
+
+This module prices that whole path on our substrate:
+
+1. **Transform**: read the IFMap once, write the lowered matrix once —
+   bandwidth-bound on HBM, rate-limited additionally by the vector units'
+   element throughput (one element moved per ALU per cycle).
+2. **GEMM**: the standard :func:`~repro.systolic.scheduler.gemm_schedule`
+   over the `[M, H_F*W_F*C_I] x [.., C_O]` problem, which now must *stream
+   the lowered matrix from DRAM* — `H_F*W_F`x the implicit path's input
+   traffic.
+
+Workspace: the lowered matrix's DRAM footprint (the Table I quantity) —
+returned so experiments can report both costs of the naive method at once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..core.conv_spec import ConvSpec
+from .config import TPUConfig, TPU_V2
+from .dma import FillEngine
+from .scheduler import execute_schedule, gemm_schedule
+from .simulator import LayerResult
+
+__all__ = ["ExplicitTPUResult", "simulate_conv_explicit_tpu"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExplicitTPUResult:
+    """Timing + workspace of the explicit path on the TPU."""
+
+    transform_cycles: float
+    gemm: LayerResult
+    workspace_bytes: int
+
+    @property
+    def cycles(self) -> float:
+        return self.transform_cycles + self.gemm.cycles
+
+    def tflops(self, clock_ghz: float, macs: int) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return 2 * macs * clock_ghz / self.cycles / 1e3
+
+
+def _transform_cycles(spec: ConvSpec, config: TPUConfig) -> float:
+    """The on-TPU lowering pass: IFMap in, lowered matrix out.
+
+    Bounded by the slower of (a) HBM moving ``ifmap + lowered`` bytes and
+    (b) the vector units touching every lowered element once.
+    """
+    elem = config.compute_elem_bytes
+    hbm_bytes = spec.ifmap_bytes(elem) + spec.lowered_bytes(elem)
+    engine = FillEngine(config)
+    hbm_cycles = engine.hbm.contiguous_cycles(hbm_bytes)
+    alu_cycles = spec.lowered_elements() / config.vector_alus
+    return max(hbm_cycles, alu_cycles)
+
+
+def simulate_conv_explicit_tpu(
+    spec: ConvSpec, config: TPUConfig = TPU_V2
+) -> ExplicitTPUResult:
+    """Price the explicit im2col conv on the TPU (transform + GEMM)."""
+    transform = _transform_cycles(spec, config)
+    items = gemm_schedule(spec.gemm_shape(), config, FillEngine(config))
+    outcome = execute_schedule(items)
+    gemm = LayerResult(
+        name=f"explicit-gemm:{spec.describe()}",
+        cycles=outcome.total_cycles,
+        tflops=2 * spec.macs * config.clock_ghz / outcome.total_cycles / 1e3,
+        utilization=spec.macs / (config.peak_macs_per_cycle * outcome.total_cycles),
+        compute_cycles=outcome.compute_cycles,
+        dma_cycles=outcome.dma_cycles,
+        exposed_dma_cycles=outcome.exposed_dma_cycles,
+        macs=spec.macs,
+    )
+    return ExplicitTPUResult(
+        transform_cycles=transform,
+        gemm=gemm,
+        workspace_bytes=spec.lowered_bytes(config.compute_elem_bytes),
+    )

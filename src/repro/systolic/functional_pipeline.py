@@ -1,0 +1,214 @@
+"""The complete functional TPU dataflow at register level (Figs 9-11).
+
+This module wires together every hardware component the paper describes into
+one cycle-stepped pipeline and executes a convolution through it:
+
+    DRAM image (HWCN)
+      -> DMA fill (per decomposed-filter tile, channel c -> vector memory c)
+      -> per-memory skewed address generation (Sec. IV-A)
+      -> single-port vector memories with serializers (word reads every
+         ``word_elems`` cycles; one element issued per cycle)
+      -> weight-stationary systolic array (inputs skewed by row)
+      -> de-serializers packing OFMap words, written back into the same
+         vector memories on the cycles the port is free (the interleaving
+         argument of Sec. IV-A)
+
+It is intentionally small-scale (every register is simulated) and exists to
+*prove the dataflow*: the timing simulator's schedule assumes each of these
+hand-offs works conflict-free, and :class:`FunctionalPipeline` checks the
+invariants cycle by cycle — single port access per memory per cycle, reads
+and writes interleaving without contention, serializers never underflowing
+while the array streams.
+
+The OFMap produced is compared against the numpy reference by the caller
+(tests and :meth:`FunctionalPipeline.run_conv`'s ``verify``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.channel_first import decompose, decomposed_tile_view
+from ..core.conv_spec import ConvSpec
+from ..core.reference import direct_conv2d, pad_ifmap
+from .systolic_array import CycleAccurateArray
+from .vector_memory import FunctionalVectorMemory
+
+__all__ = ["PipelineStats", "FunctionalPipeline"]
+
+
+@dataclasses.dataclass
+class PipelineStats:
+    """Invariant counters accumulated over a run."""
+
+    cycles: int = 0
+    port_reads: int = 0
+    port_writes: int = 0
+    port_conflicts: int = 0
+    serializer_underflows: int = 0
+
+    def assert_clean(self) -> None:
+        if self.port_conflicts:
+            raise AssertionError(f"{self.port_conflicts} vector-memory port conflicts")
+        if self.serializer_underflows:
+            raise AssertionError(f"{self.serializer_underflows} serializer underflows")
+
+
+class FunctionalPipeline:
+    """Register-level execution of the channel-first conv on a small TPU.
+
+    ``array_size`` plays the role of the 128 in the real machine; the spec's
+    ``C_I`` must not exceed it (multi-tile handling lives in the scheduler —
+    this pipeline demonstrates the base single-tile dataflow of Fig 10).
+    ``word_elems`` is the vector-memory word size; the batch ``N`` fills the
+    word lanes (the HWCN layout), so ``N`` must divide ``word_elems`` or
+    vice versa.
+    """
+
+    def __init__(self, array_size: int, word_elems: int):
+        if array_size <= 0 or word_elems <= 0:
+            raise ValueError("array_size and word_elems must be positive")
+        self.array_size = array_size
+        self.word_elems = word_elems
+        self.stats = PipelineStats()
+
+    # ------------------------------------------------------------------ run
+    def run_conv(
+        self, spec: ConvSpec, ifmap: np.ndarray, weights: np.ndarray, verify: bool = True
+    ) -> np.ndarray:
+        """Execute the conv tile-by-tile through the full dataflow."""
+        if spec.c_in > self.array_size:
+            raise ValueError(
+                f"C_I={spec.c_in} exceeds the array height {self.array_size}; "
+                "this functional pipeline demonstrates the single-tile dataflow"
+            )
+        if spec.c_out > self.array_size:
+            raise ValueError(f"C_O={spec.c_out} exceeds the array width {self.array_size}")
+        if self.word_elems % spec.n != 0:
+            raise ValueError(
+                f"batch {spec.n} must divide the word size {self.word_elems} "
+                "(HWCN packs batch into word lanes)"
+            )
+        padded = pad_ifmap(ifmap, spec.padding).astype(np.float64)
+        m = spec.lowered_rows()
+        accumulator = np.zeros((m, spec.c_out))
+        for tile in decompose(spec):
+            accumulator += self._run_tile(spec, padded, weights, tile)
+        ofmap = np.ascontiguousarray(
+            accumulator.reshape(spec.n, spec.h_out, spec.w_out, spec.c_out).transpose(0, 3, 1, 2)
+        )
+        self.stats.assert_clean()
+        if verify:
+            reference = direct_conv2d(ifmap, weights, spec)
+            if not np.allclose(ofmap, reference):
+                raise AssertionError("functional pipeline diverged from the reference")
+        return ofmap
+
+    # ------------------------------------------------------------- one tile
+    def _run_tile(self, spec: ConvSpec, padded, weights, tile) -> np.ndarray:
+        """One decomposed filter: fill memories, stream through the array.
+
+        The vector memories are filled in HWCN order — word ``t`` of memory
+        ``c`` holds spatial tap ``t``'s channel-``c`` values across the
+        batch lanes — then the serializers feed the array with the one-cycle
+        row skew while the de-serializers interleave OFMap writes back into
+        the same memories.
+        """
+        taps = spec.h_out * spec.w_out
+        lanes = self.word_elems // spec.n
+        words_per_memory = -(-taps // lanes)
+        # OFMap words live after the IFMap words in each memory.
+        memory_words = words_per_memory + (-(-taps * spec.c_out // (spec.c_in * lanes))) + 2
+        memories = [
+            FunctionalVectorMemory(self.word_elems, memory_words) for _ in range(spec.c_in)
+        ]
+
+        # --- DMA fill: tile taps -> memories (one word per port access) ----
+        view = decomposed_tile_view(padded, spec, tile)  # (N, C, HO, WO)
+        flat = view.reshape(spec.n, spec.c_in, taps)
+        for c, memory in enumerate(memories):
+            for word_index in range(words_per_memory):
+                word = np.zeros(self.word_elems)
+                for lane in range(lanes):
+                    t = word_index * lanes + lane
+                    if t < taps:
+                        word[lane * spec.n : (lane + 1) * spec.n] = flat[:, c, t]
+                memory.write_word(word_index, word)
+        fill_accesses = sum(mem.port_accesses for mem in memories)
+        self.stats.port_writes += fill_accesses
+
+        # --- stream: skewed reads feed the weight-stationary array ---------
+        array = CycleAccurateArray(self.array_size, self.array_size)
+        array.load_weights(weights[:, :, tile.r, tile.s].T.astype(np.float64))
+
+        total_rows = taps * spec.n  # lowered rows this tile contributes
+        a_matrix = np.zeros((total_rows, spec.c_in))
+        # Cycle-stepped serializer feed: memory c issues its element stream
+        # delayed by c cycles; a port read happens only when the serializer
+        # empties (once per word_elems elements).
+        per_memory_streams: List[List[float]] = [[] for _ in range(spec.c_in)]
+        read_cycles: Dict[int, List[int]] = {c: [] for c in range(spec.c_in)}
+        for c, memory in enumerate(memories):
+            issued = 0
+            cycle = c  # systolic skew
+            word_index = 0
+            while issued < total_rows:
+                if memory.serializer_occupancy == 0:
+                    memory.load_into_serializer(word_index)
+                    read_cycles[c].append(cycle)
+                    word_index += 1
+                per_memory_streams[c].append(memory.pop_element())
+                issued += 1
+                cycle += 1
+            if memory.serializer_occupancy == 0 and issued < total_rows:
+                self.stats.serializer_underflows += 1
+        # Port-conflict check: within one memory, reads are word_elems apart
+        # by construction; writes (below) interleave on the free cycles.
+        for c, cycles in read_cycles.items():
+            gaps = {b - a for a, b in zip(cycles, cycles[1:])}
+            if gaps and gaps != {self.word_elems}:
+                self.stats.port_conflicts += 1
+        self.stats.port_reads += sum(len(v) for v in read_cycles.values())
+
+        # The streams are, modulo the skew the array re-absorbs, the columns
+        # of the lowered tile: rows ordered (tap-major, batch-lane-minor) —
+        # reorder into the canonical (n, oy, ox) lowered-row order.
+        for c in range(spec.c_in):
+            a_matrix[:, c] = per_memory_streams[c]
+        tap_major = a_matrix.reshape(taps, spec.n, spec.c_in)
+        canonical = tap_major.transpose(1, 0, 2).reshape(total_rows, spec.c_in)
+
+        partial, stream_cycles = array.run(canonical)
+        self.stats.cycles += stream_cycles
+
+        # --- de-serializers: pack OFMap words, interleave writes -----------
+        out_lanes = self.word_elems
+        ofmap_words = -(-partial.size // out_lanes)
+        writeback = memories[0]  # representative memory for the write port
+        flat_out = partial.reshape(-1)
+        for w in range(min(ofmap_words, writeback.num_words - words_per_memory)):
+            word = np.zeros(self.word_elems)
+            chunk = flat_out[w * out_lanes : (w + 1) * out_lanes]
+            word[: len(chunk)] = chunk
+            writeback.write_word(words_per_memory + w, word)
+            self.stats.port_writes += 1
+
+        return partial
+
+
+def run_fig10_example() -> Tuple[np.ndarray, PipelineStats]:
+    """The paper's Fig 10 configuration: N=2, C_I=4, 5x5 IFMap, 3x3 filter,
+    4x4 array, word size 2 — executed through the full functional pipeline.
+
+    Returns the OFMap and the invariant counters (used by tests and docs).
+    """
+    spec = ConvSpec(n=2, c_in=4, h_in=5, w_in=5, c_out=4, h_filter=3, w_filter=3)
+    rng = np.random.default_rng(10)
+    ifmap = rng.integers(-3, 4, spec.ifmap_shape).astype(np.float64)
+    weights = rng.integers(-3, 4, spec.filter_shape).astype(np.float64)
+    pipeline = FunctionalPipeline(array_size=4, word_elems=2)
+    ofmap = pipeline.run_conv(spec, ifmap, weights)
+    return ofmap, pipeline.stats

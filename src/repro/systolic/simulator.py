@@ -1,0 +1,222 @@
+"""TPUSim: the configurable cycle-level TPU simulator (Sec. VI, Tbl. II).
+
+Public entry points:
+
+- :meth:`TPUSim.simulate_conv` — timing of one CONV layer under the
+  channel-first implicit im2col schedule (with the multi-tile policy).
+- :meth:`TPUSim.simulate_gemm` — timing of a plain GEMM primitive.
+- :meth:`TPUSim.simulate_network` — a whole network's conv layers.
+- :meth:`TPUSim.run_functional_conv` — *functional* execution of a conv
+  through the actual merged-GEMM tile sequence on the register-level
+  :class:`~repro.systolic.systolic_array.CycleAccurateArray`, cross-checked
+  against the numpy reference.  Used at small scale; it is the end-to-end
+  proof that the schedule the timing model prices computes the right thing.
+
+Timing results come from the event-driven two-resource pipeline in
+:mod:`repro.systolic.scheduler`; see DESIGN.md ("Two fidelity levels").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.channel_first import decompose
+from ..core.conv_spec import ConvSpec, GemmShape
+from ..core.layouts import Layout
+from ..core.reference import direct_conv2d
+from ..core.tiling import plan_multi_tile, tpu_multi_tile_policy
+from .config import TPUConfig, TPU_V2
+from .dma import FillEngine
+from .scheduler import (
+    ScheduleResult,
+    channel_first_schedule,
+    execute_schedule,
+    gemm_schedule,
+)
+from .systolic_array import CycleAccurateArray
+
+__all__ = ["LayerResult", "NetworkResult", "TPUSim"]
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerResult:
+    """Timing outcome for one layer (or one GEMM primitive)."""
+
+    name: str
+    cycles: float
+    tflops: float
+    utilization: float
+    compute_cycles: float
+    dma_cycles: float
+    exposed_dma_cycles: float
+    macs: int
+    group_size: int = 1
+
+    @property
+    def seconds(self) -> float:
+        # Derived lazily by callers that know the clock; kept cycle-centric
+        # here so results are config-independent once produced.
+        raise AttributeError("use latency_s(clock_ghz) — cycles are the unit of record")
+
+    def latency_s(self, clock_ghz: float) -> float:
+        return self.cycles / (clock_ghz * 1e9)
+
+
+@dataclasses.dataclass(frozen=True)
+class NetworkResult:
+    """Aggregate over a network's conv layers."""
+
+    name: str
+    layers: Sequence[LayerResult]
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    def tflops(self, clock_ghz: float) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return 2 * self.total_macs * clock_ghz / self.total_cycles / 1e3
+
+    def latency_s(self, clock_ghz: float) -> float:
+        return self.total_cycles / (clock_ghz * 1e9)
+
+
+class TPUSim:
+    """The simulator facade.
+
+    One instance binds a :class:`TPUConfig`; experiments sweep configs by
+    constructing new instances (cheap — all state lives in the config and
+    the stateless fill engine).
+    """
+
+    def __init__(self, config: TPUConfig = TPU_V2):
+        self.config = config
+        self.engine = FillEngine(config)
+
+    # ------------------------------------------------------------------ conv
+    def simulate_conv(
+        self,
+        spec: ConvSpec,
+        group_size: Optional[int] = None,
+        layout: Layout = Layout.NHWC,
+    ) -> LayerResult:
+        """Timing of one conv layer under channel-first implicit im2col.
+
+        ``group_size=None`` applies the inferred TPU policy
+        ``MIN(array/C_I, W_F)``; pass an explicit value to sweep the
+        parameter (Fig 14a).
+        """
+        resolved_group = (
+            group_size
+            if group_size is not None
+            else tpu_multi_tile_policy(spec, self.config.array_rows)
+        )
+        items = channel_first_schedule(
+            spec, self.config, self.engine, group_size=resolved_group, layout=layout
+        )
+        outcome = execute_schedule(items)
+        return self._layer_result(spec.describe() or "conv", spec.macs, outcome, resolved_group)
+
+    def simulate_gemm(self, shape: GemmShape, name: str = "gemm") -> LayerResult:
+        """Timing of a plain GEMM primitive (Fig 13a, Fig 4 reference)."""
+        items = gemm_schedule(shape, self.config, self.engine)
+        outcome = execute_schedule(items)
+        return self._layer_result(name, shape.macs, outcome, 1)
+
+    def simulate_network(self, name: str, layers: Sequence[ConvSpec]) -> NetworkResult:
+        results = [self.simulate_conv(layer) for layer in layers]
+        return NetworkResult(name=name, layers=results)
+
+    def _layer_result(
+        self, name: str, true_macs: int, outcome: ScheduleResult, group_size: int
+    ) -> LayerResult:
+        """Assemble a result; TFLOPS counts *algorithmic* MACs (``true_macs``)
+        over the simulated cycles, so padding/duplication inefficiency shows
+        up as lost TFLOPS exactly as it does on real hardware."""
+        cycles = outcome.total_cycles
+        tflops = (
+            2 * true_macs * self.config.clock_ghz / cycles / 1e3 if cycles > 0 else 0.0
+        )
+        utilization = (
+            true_macs / (self.config.peak_macs_per_cycle * cycles) if cycles > 0 else 0.0
+        )
+        return LayerResult(
+            name=name,
+            cycles=cycles,
+            tflops=tflops,
+            utilization=utilization,
+            compute_cycles=outcome.compute_cycles,
+            dma_cycles=outcome.dma_cycles,
+            exposed_dma_cycles=outcome.exposed_dma_cycles,
+            macs=true_macs,
+            group_size=group_size,
+        )
+
+    # ------------------------------------------------------------ functional
+    def run_functional_conv(
+        self,
+        spec: ConvSpec,
+        ifmap: np.ndarray,
+        weights: np.ndarray,
+        group_size: Optional[int] = None,
+        verify: bool = True,
+    ) -> np.ndarray:
+        """Execute a conv *functionally* through the scheduled tile sequence.
+
+        Every multi-tile group's merged GEMM runs on the register-level
+        weight-stationary array (split into array-sized K/N chunks), partial
+        sums accumulate across groups exactly as the de-serializers would
+        accumulate them in the vector memories, and the result is reshaped to
+        the NCHW OFMap.  With ``verify=True`` the result is asserted equal to
+        the direct-convolution reference.
+
+        Intended for small shapes (it is register-level); the timing path is
+        independent of this and scales to real layers.
+        """
+        from ..core.tiling import merged_gemm_operands
+
+        group = (
+            group_size
+            if group_size is not None
+            else tpu_multi_tile_policy(spec, self.config.array_rows)
+        )
+        groups = plan_multi_tile(spec, group, row_aligned=True)
+        m = spec.lowered_rows()
+        accumulator = np.zeros((m, spec.c_out))
+        for grp in groups:
+            a, b = merged_gemm_operands(ifmap, weights, spec, grp)
+            merged_k = a.shape[1]
+            for k0 in range(0, merged_k, self.config.array_rows):
+                k_t = min(self.config.array_rows, merged_k - k0)
+                for n0 in range(0, spec.c_out, self.config.array_cols):
+                    n_t = min(self.config.array_cols, spec.c_out - n0)
+                    array = CycleAccurateArray(self.config.array_rows, self.config.array_cols)
+                    array.load_weights(b[k0 : k0 + k_t, n0 : n0 + n_t])
+                    partial, _ = array.run(a[:, k0 : k0 + k_t])
+                    accumulator[:, n0 : n0 + n_t] += partial
+        ofmap = np.ascontiguousarray(
+            accumulator.reshape(spec.n, spec.h_out, spec.w_out, spec.c_out).transpose(0, 3, 1, 2)
+        )
+        if verify:
+            reference = direct_conv2d(ifmap, weights, spec)
+            if not np.allclose(ofmap, reference):
+                raise AssertionError(
+                    f"functional simulation diverged from reference for {spec.describe()}"
+                )
+        return ofmap
+
+    # -------------------------------------------------------------- breakdown
+    def stride_sweep(self, spec: ConvSpec, strides: Sequence[int]) -> Dict[int, LayerResult]:
+        """Convenience for Fig 4b: the same layer at several strides."""
+        results = {}
+        for stride in strides:
+            results[stride] = self.simulate_conv(spec.with_stride(stride))
+        return results

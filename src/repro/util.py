@@ -1,0 +1,23 @@
+"""Small shared utilities with no internal dependencies."""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["deterministic_noise"]
+
+
+def deterministic_noise(key: str, amplitude: float, seed: int = 0) -> float:
+    """A value in ``[-amplitude, +amplitude]``, a pure function of inputs.
+
+    Uses SHA-256 of ``f"{seed}:{key}"`` mapped uniformly onto the interval.
+    Used by the measurement stand-ins so "hardware" numbers are reproducible
+    bit-for-bit across runs and platforms.
+    """
+    if amplitude < 0:
+        raise ValueError(f"amplitude must be non-negative, got {amplitude}")
+    if amplitude == 0:
+        return 0.0
+    digest = hashlib.sha256(f"{seed}:{key}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)  # [0, 1)
+    return (2.0 * fraction - 1.0) * amplitude

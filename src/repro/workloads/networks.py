@@ -1,0 +1,208 @@
+"""Convolution-layer tables for the paper's seven benchmark CNNs (Sec. VI).
+
+AlexNet, DenseNet-121, GoogLeNet, ResNet-50, VGG16, YOLOv2 and ZFNet, as
+lists of :class:`~repro.core.conv_spec.ConvSpec` (conv layers only — the
+experiments measure conv performance; FC layers are plain GEMMs outside this
+study's scope, and pool/BN layers contribute negligibly on both platforms).
+
+Shapes are the standard ImageNet-inference configurations (YOLOv2 at its
+native 416x416).  Builders take the batch size so the same tables serve the
+batch-64 motivation experiments (Fig 2) and the batch-8 evaluation
+(Figs 15/17).  ``NETWORKS`` is the registry the harness iterates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..core.conv_spec import ConvSpec
+
+__all__ = [
+    "alexnet",
+    "vgg16",
+    "resnet50",
+    "googlenet",
+    "densenet121",
+    "yolov2",
+    "zfnet",
+    "NETWORKS",
+    "network",
+    "network_names",
+]
+
+
+def _conv(n, c_in, hw, c_out, f, stride=1, pad=None, name=""):
+    """Helper: square conv layer with SAME-ish default padding."""
+    if pad is None:
+        pad = f // 2
+    return ConvSpec(
+        n=n, c_in=c_in, h_in=hw, w_in=hw, c_out=c_out,
+        h_filter=f, w_filter=f, stride=stride, padding=pad, name=name,
+    )
+
+
+def alexnet(batch: int = 1) -> List[ConvSpec]:
+    """AlexNet (227 input), 5 conv layers."""
+    return [
+        _conv(batch, 3, 227, 96, 11, stride=4, pad=0, name="alexnet.conv1"),
+        _conv(batch, 96, 27, 256, 5, name="alexnet.conv2"),
+        _conv(batch, 256, 13, 384, 3, name="alexnet.conv3"),
+        _conv(batch, 384, 13, 384, 3, name="alexnet.conv4"),
+        _conv(batch, 384, 13, 256, 3, name="alexnet.conv5"),
+    ]
+
+
+def zfnet(batch: int = 1) -> List[ConvSpec]:
+    """ZFNet (224 input), 5 conv layers."""
+    return [
+        _conv(batch, 3, 224, 96, 7, stride=2, pad=1, name="zfnet.conv1"),
+        _conv(batch, 96, 55, 256, 5, stride=2, pad=0, name="zfnet.conv2"),
+        _conv(batch, 256, 13, 384, 3, name="zfnet.conv3"),
+        _conv(batch, 384, 13, 384, 3, name="zfnet.conv4"),
+        _conv(batch, 384, 13, 256, 3, name="zfnet.conv5"),
+    ]
+
+
+def vgg16(batch: int = 1) -> List[ConvSpec]:
+    """VGG-16 (224 input), 13 3x3 conv layers."""
+    plan = [
+        (3, 224, 64), (64, 224, 64),
+        (64, 112, 128), (128, 112, 128),
+        (128, 56, 256), (256, 56, 256), (256, 56, 256),
+        (256, 28, 512), (512, 28, 512), (512, 28, 512),
+        (512, 14, 512), (512, 14, 512), (512, 14, 512),
+    ]
+    return [
+        _conv(batch, c_in, hw, c_out, 3, name=f"vgg16.conv{i + 1}")
+        for i, (c_in, hw, c_out) in enumerate(plan)
+    ]
+
+
+def resnet50(batch: int = 1) -> List[ConvSpec]:
+    """ResNet-50 (224 input): conv1 + 16 bottleneck blocks (53 convs).
+
+    Downsampling follows the v1.5 convention (the variant vendor libraries
+    benchmark): the first block of stages 3-5 applies stride 2 on its 3x3
+    conv and on the projection shortcut.
+    """
+    layers = [_conv(batch, 3, 224, 64, 7, stride=2, name="resnet50.conv1")]
+    # (input hw at stage exit, bottleneck width, output channels, blocks)
+    stages = [(56, 64, 256, 3), (28, 128, 512, 4), (14, 256, 1024, 6), (7, 512, 2048, 3)]
+    in_ch = 64
+    for si, (hw, width, out_ch, blocks) in enumerate(stages):
+        for b in range(blocks):
+            downsample = si > 0 and b == 0
+            entry_hw = hw * 2 if downsample else hw
+            stride = 2 if downsample else 1
+            tag = f"resnet50.s{si + 2}b{b + 1}"
+            layers.append(_conv(batch, in_ch, entry_hw, width, 1, pad=0,
+                                name=f"{tag}.conv1"))
+            layers.append(_conv(batch, width, entry_hw, width, 3, stride=stride,
+                                name=f"{tag}.conv2"))
+            layers.append(_conv(batch, width, hw, out_ch, 1, pad=0, name=f"{tag}.conv3"))
+            if b == 0:
+                layers.append(_conv(batch, in_ch, entry_hw, out_ch, 1, stride=stride, pad=0,
+                                    name=f"{tag}.proj"))
+            in_ch = out_ch
+    return layers
+
+
+def googlenet(batch: int = 1) -> List[ConvSpec]:
+    """GoogLeNet / Inception-v1 (224 input): stem + 9 inception modules.
+
+    Each module contributes its 1x1, 3x3-reduce + 3x3, 5x5-reduce + 5x5
+    convs (pool-projection 1x1 included).
+    """
+    layers = [
+        _conv(batch, 3, 224, 64, 7, stride=2, name="googlenet.conv1"),
+        _conv(batch, 64, 56, 64, 1, pad=0, name="googlenet.conv2.reduce"),
+        _conv(batch, 64, 56, 192, 3, name="googlenet.conv2"),
+    ]
+    # (hw, in, 1x1, 3x3red, 3x3, 5x5red, 5x5, poolproj)
+    modules = [
+        ("3a", 28, 192, 64, 96, 128, 16, 32, 32),
+        ("3b", 28, 256, 128, 128, 192, 32, 96, 64),
+        ("4a", 14, 480, 192, 96, 208, 16, 48, 64),
+        ("4b", 14, 512, 160, 112, 224, 24, 64, 64),
+        ("4c", 14, 512, 128, 128, 256, 24, 64, 64),
+        ("4d", 14, 512, 112, 144, 288, 32, 64, 64),
+        ("4e", 14, 528, 256, 160, 320, 32, 128, 128),
+        ("5a", 7, 832, 256, 160, 320, 32, 128, 128),
+        ("5b", 7, 832, 384, 192, 384, 48, 128, 128),
+    ]
+    for tag, hw, c_in, p1, p3r, p3, p5r, p5, pp in modules:
+        prefix = f"googlenet.inc{tag}"
+        layers.append(_conv(batch, c_in, hw, p1, 1, pad=0, name=f"{prefix}.1x1"))
+        layers.append(_conv(batch, c_in, hw, p3r, 1, pad=0, name=f"{prefix}.3x3r"))
+        layers.append(_conv(batch, p3r, hw, p3, 3, name=f"{prefix}.3x3"))
+        layers.append(_conv(batch, c_in, hw, p5r, 1, pad=0, name=f"{prefix}.5x5r"))
+        layers.append(_conv(batch, p5r, hw, p5, 5, name=f"{prefix}.5x5"))
+        layers.append(_conv(batch, c_in, hw, pp, 1, pad=0, name=f"{prefix}.pool"))
+    return layers
+
+
+def densenet121(batch: int = 1) -> List[ConvSpec]:
+    """DenseNet-121 (224 input): growth 32, bottleneck 4x, 0.5 compression."""
+    growth = 32
+    layers = [_conv(batch, 3, 224, 64, 7, stride=2, name="densenet121.conv1")]
+    channels = 64
+    blocks = [(6, 56), (12, 28), (24, 14), (16, 7)]
+    for bi, (count, hw) in enumerate(blocks):
+        for li in range(count):
+            prefix = f"densenet121.b{bi + 1}l{li + 1}"
+            layers.append(_conv(batch, channels, hw, 4 * growth, 1, pad=0,
+                                name=f"{prefix}.bottleneck"))
+            layers.append(_conv(batch, 4 * growth, hw, growth, 3, name=f"{prefix}.conv"))
+            channels += growth
+        if bi < len(blocks) - 1:
+            out = channels // 2
+            layers.append(_conv(batch, channels, hw, out, 1, pad=0,
+                                name=f"densenet121.trans{bi + 1}"))
+            channels = out
+    return layers
+
+
+def yolov2(batch: int = 1) -> List[ConvSpec]:
+    """YOLOv2 (Darknet-19 backbone + detection head) at 416x416."""
+    plan = [
+        (3, 416, 32, 3, "c1"),
+        (32, 208, 64, 3, "c2"),
+        (64, 104, 128, 3, "c3"), (128, 104, 64, 1, "c4"), (64, 104, 128, 3, "c5"),
+        (128, 52, 256, 3, "c6"), (256, 52, 128, 1, "c7"), (128, 52, 256, 3, "c8"),
+        (256, 26, 512, 3, "c9"), (512, 26, 256, 1, "c10"), (256, 26, 512, 3, "c11"),
+        (512, 26, 256, 1, "c12"), (256, 26, 512, 3, "c13"),
+        (512, 13, 1024, 3, "c14"), (1024, 13, 512, 1, "c15"), (512, 13, 1024, 3, "c16"),
+        (1024, 13, 512, 1, "c17"), (512, 13, 1024, 3, "c18"),
+        # detection head
+        (1024, 13, 1024, 3, "c19"), (1024, 13, 1024, 3, "c20"),
+        (512, 26, 64, 1, "passthrough"),
+        (1280, 13, 1024, 3, "c21"),
+        (1024, 13, 425, 1, "detect"),
+    ]
+    return [
+        _conv(batch, c_in, hw, c_out, f, name=f"yolov2.{tag}")
+        for c_in, hw, c_out, f, tag in plan
+    ]
+
+
+NETWORKS: Dict[str, Callable[[int], List[ConvSpec]]] = {
+    "AlexNet": alexnet,
+    "DenseNet": densenet121,
+    "GoogleNet": googlenet,
+    "ResNet": resnet50,
+    "VGG16": vgg16,
+    "YOLO": yolov2,
+    "ZFNet": zfnet,
+}
+
+
+def network(name: str, batch: int = 1) -> List[ConvSpec]:
+    """Look up a network's conv layers by (case-insensitive) name."""
+    for key, builder in NETWORKS.items():
+        if key.lower() == name.lower():
+            return builder(batch)
+    raise KeyError(f"unknown network {name!r}; known: {sorted(NETWORKS)}")
+
+
+def network_names() -> List[str]:
+    return list(NETWORKS)

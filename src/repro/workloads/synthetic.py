@@ -1,0 +1,151 @@
+"""Synthetic workloads: the microbenchmarks of the evaluation section.
+
+- :func:`gemm_sweep` — the GEMM validation grid of Fig 13a
+  (M, N, K swept 256..8192).
+- :func:`conv_validation_layers` — CONV layers "that do not trigger the
+  optimizations of Sec. IV-B" (C_I >= 128 so the multi-tile policy stays at
+  1) for Fig 13b.
+- :func:`fig4_layers` — the representative ResNet layers of Fig 4, labelled
+  (W_I, C_I, C_O, W_F).
+- :func:`fig14_layer` — the multi-tile study layer
+  (N=8, C_I=8, W_I=C_O=128, W_F=3).
+- :func:`small_channel_sweep` — C_I sweep for the policy validation of
+  Fig 14b.
+- :func:`strided_layers` / :func:`memory_bound_layers` — the Fig 18 layer
+  selections drawn from the benchmark networks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..core.conv_spec import ConvSpec, GemmShape
+from .networks import NETWORKS
+
+__all__ = [
+    "gemm_sweep",
+    "conv_validation_layers",
+    "fig4_layers",
+    "fig14_layer",
+    "small_channel_sweep",
+    "strided_layers",
+    "memory_bound_layers",
+]
+
+
+def gemm_sweep(sizes: Sequence[int] = (256, 512, 1024, 2048, 4096, 8192)) -> List[GemmShape]:
+    """The Fig 13a grid: square and non-square GEMMs over the size range.
+
+    Sweeps each dimension through ``sizes`` while holding the others at a
+    mid value, plus the square diagonal — 16 shapes covering both skinny and
+    balanced regimes.
+    """
+    mid = sizes[len(sizes) // 2]
+    shapes = [GemmShape(s, s, s) for s in sizes]
+    for s in sizes:
+        if s != mid:
+            shapes.append(GemmShape(s, mid, mid))
+            shapes.append(GemmShape(mid, s, mid))
+    # Deduplicate while preserving order.
+    seen = set()
+    unique = []
+    for shape in shapes:
+        key = (shape.m, shape.n, shape.k)
+        if key not in seen:
+            seen.add(key)
+            unique.append(shape)
+    return unique
+
+
+def conv_validation_layers(batch: int = 8) -> List[ConvSpec]:
+    """Fig 13b: synthetic CONV layers with C_I >= 128 (multi-tile stays 1)."""
+    plan = [
+        (128, 56, 128, 3, 1), (128, 56, 256, 3, 2), (256, 28, 256, 3, 1),
+        (256, 28, 512, 3, 2), (512, 14, 512, 3, 1), (512, 14, 512, 1, 1),
+        (256, 56, 256, 1, 1), (128, 112, 128, 3, 1), (384, 14, 384, 3, 1),
+        (1024, 13, 1024, 3, 1), (256, 14, 1024, 1, 1), (512, 7, 2048, 1, 1),
+    ]
+    return [
+        ConvSpec(
+            n=batch, c_in=c_in, h_in=hw, w_in=hw, c_out=c_out,
+            h_filter=f, w_filter=f, stride=s, padding=f // 2,
+            name=f"val.{hw}-{c_in}-{c_out}-{f}-s{s}",
+        )
+        for c_in, hw, c_out, f, s in plan
+    ]
+
+
+def fig4_layers(batch: int = 64) -> List[ConvSpec]:
+    """Fig 4's representative ResNet layers, labelled (W_I, C_I, C_O, W_F)."""
+    plan = [(56, 64, 64, 3), (56, 128, 128, 3), (28, 128, 128, 3), (28, 256, 256, 3)]
+    return [
+        ConvSpec(
+            n=batch, c_in=c_in, h_in=w_i, w_in=w_i, c_out=c_out,
+            h_filter=w_f, w_filter=w_f, stride=1, padding=w_f // 2,
+            name=f"{w_i}-{c_in}-{c_out}-{w_f}",
+        )
+        for w_i, c_in, c_out, w_f in plan
+    ]
+
+
+def fig14_layer(batch: int = 8) -> ConvSpec:
+    """The Fig 14a study layer: N=8, C_I=8, W_I=C_O=128, W_F=3."""
+    return ConvSpec(
+        n=batch, c_in=8, h_in=128, w_in=128, c_out=128,
+        h_filter=3, w_filter=3, stride=1, padding=1, name="fig14.ci8",
+    )
+
+
+def small_channel_sweep(batch: int = 8) -> List[ConvSpec]:
+    """Fig 14b: vary the input channel size (and filter) below the array
+    height so the multi-tile policy engages at different strengths."""
+    layers = []
+    for c_in in (2, 4, 8, 16, 32, 64):
+        for w_f in (3, 5, 7):
+            layers.append(
+                ConvSpec(
+                    n=batch, c_in=c_in, h_in=64, w_in=64, c_out=128,
+                    h_filter=w_f, w_filter=w_f, stride=1, padding=w_f // 2,
+                    name=f"sweep.c{c_in}f{w_f}",
+                )
+            )
+    return layers
+
+
+def strided_layers(batch: int = 8) -> List[ConvSpec]:
+    """Fig 18a: the stride>1 conv layers of the benchmark networks (spatial
+    filters; 1x1 projections excluded as cuDNN routes those to a dedicated
+    strided-GEMM kernel rather than the implicit conv path)."""
+    picked = []
+    for name, builder in NETWORKS.items():
+        for layer in builder(batch):
+            if layer.stride > 1 and not layer.is_pointwise():
+                picked.append(layer)
+    return picked
+
+
+def memory_bound_layers(batch: int = 8) -> List[ConvSpec]:
+    """Fig 18b: layers whose global-memory access "is not completely
+    overlapped by the computation in the pipeline" (Sec. VII-B) — i.e.
+    layers sitting just past the roofline ridge, where the no-reuse staging
+    traffic exceeds the compute time by ~1.2-1.45x.  Selected from the
+    benchmark networks with that criterion (deeply memory-bound layers are
+    excluded, as in the paper: there reuse flips the balance entirely and
+    the improvement would measure the roofline gap, not the optimisation).
+    """
+    plan = [
+        ("alexnet.conv4", 384, 13, 384, 3, 1),
+        ("alexnet.conv5", 384, 13, 256, 3, 1),
+        ("googlenet.inc4e.5x5", 32, 14, 128, 5, 1),
+        ("googlenet.inc5a.3x3", 160, 7, 320, 3, 1),
+        ("googlenet.inc5b.3x3", 192, 7, 384, 3, 1),
+        ("resnet50.s5b1.conv2", 512, 14, 512, 3, 2),
+        ("resnet50.s5b2.conv2", 512, 7, 512, 3, 1),
+    ]
+    return [
+        ConvSpec(
+            n=batch, c_in=c_in, h_in=hw, w_in=hw, c_out=c_out,
+            h_filter=f, w_filter=f, stride=s, padding=f // 2, name=name,
+        )
+        for name, c_in, hw, c_out, f, s in plan
+    ]

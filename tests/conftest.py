@@ -1,0 +1,55 @@
+"""Shared fixtures: small convolution problems exercised across suites."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvSpec, random_conv_operands
+
+
+@pytest.fixture
+def small_spec():
+    """A 3x3 conv with padding — the workhorse shape."""
+    return ConvSpec(
+        n=2, c_in=4, h_in=6, w_in=6, c_out=5, h_filter=3, w_filter=3,
+        stride=1, padding=1,
+    )
+
+
+@pytest.fixture
+def strided_spec():
+    """Stride-2 variant with asymmetric channel counts."""
+    return ConvSpec(
+        n=2, c_in=3, h_in=9, w_in=9, c_out=4, h_filter=3, w_filter=3,
+        stride=2, padding=1,
+    )
+
+
+@pytest.fixture
+def dilated_spec():
+    return ConvSpec(
+        n=1, c_in=2, h_in=11, w_in=11, c_out=3, h_filter=3, w_filter=3,
+        stride=1, padding=2, dilation=2,
+    )
+
+
+@pytest.fixture
+def pointwise_spec():
+    return ConvSpec(
+        n=2, c_in=6, h_in=5, w_in=5, c_out=7, h_filter=1, w_filter=1,
+        stride=1, padding=0,
+    )
+
+
+ALL_SPEC_NAMES = ["small_spec", "strided_spec", "dilated_spec", "pointwise_spec"]
+
+
+@pytest.fixture(params=ALL_SPEC_NAMES)
+def any_spec(request):
+    """Parametrised over all the representative conv shapes."""
+    return request.getfixturevalue(request.param)
+
+
+@pytest.fixture
+def operands(any_spec):
+    ifmap, weights = random_conv_operands(any_spec, seed=7)
+    return any_spec, ifmap, weights

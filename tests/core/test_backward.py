@@ -1,0 +1,109 @@
+"""Backward passes via the channel-first decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    conv2d_backward_data,
+    conv2d_backward_weights,
+    conv2d_channel_first,
+    direct_conv2d,
+    random_conv_operands,
+)
+
+
+def _grad(spec, seed=9):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(spec.ofmap_shape)
+
+
+class TestAdjointIdentities:
+    """The defining property: the backward passes are the adjoints of the
+    (linear) forward map, so inner products must match exactly."""
+
+    def test_backward_data_adjoint(self, operands):
+        spec, x, w = operands
+        g = _grad(spec)
+        lhs = float((direct_conv2d(x, w, spec) * g).sum())
+        rhs = float((x.astype(np.float64) * conv2d_backward_data(g, w, spec)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-8)
+
+    def test_backward_weights_adjoint(self, operands):
+        spec, x, w = operands
+        g = _grad(spec)
+        lhs = float((direct_conv2d(x, w, spec) * g).sum())
+        rhs = float((w.astype(np.float64) * conv2d_backward_weights(x, g, spec)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10, abs=1e-8)
+
+
+class TestShapes:
+    def test_backward_data_shape(self, operands):
+        spec, _, w = operands
+        assert conv2d_backward_data(_grad(spec), w, spec).shape == spec.ifmap_shape
+
+    def test_backward_weights_shape(self, operands):
+        spec, x, _ = operands
+        assert conv2d_backward_weights(x, _grad(spec), spec).shape == spec.filter_shape
+
+
+class TestDirectionalDerivatives:
+    def test_data_gradient_matches_finite_difference(self, small_spec):
+        spec = small_spec
+        x, w = random_conv_operands(spec, seed=2)
+        x = x.astype(np.float64)
+        w = w.astype(np.float64)
+        rng = np.random.default_rng(3)
+        g = rng.standard_normal(spec.ofmap_shape)
+        direction = rng.standard_normal(x.shape)
+        eps = 1e-6
+        loss = lambda xx: float((conv2d_channel_first(xx, w, spec) * g).sum())
+        numeric = (loss(x + eps * direction) - loss(x - eps * direction)) / (2 * eps)
+        analytic = float((conv2d_backward_data(g, w, spec) * direction).sum())
+        assert numeric == pytest.approx(analytic, rel=1e-6)
+
+    def test_weight_gradient_matches_finite_difference(self, strided_spec):
+        spec = strided_spec
+        x, w = random_conv_operands(spec, seed=4)
+        x = x.astype(np.float64)
+        w = w.astype(np.float64)
+        rng = np.random.default_rng(5)
+        g = rng.standard_normal(spec.ofmap_shape)
+        direction = rng.standard_normal(w.shape)
+        eps = 1e-6
+        loss = lambda ww: float((conv2d_channel_first(x, ww, spec) * g).sum())
+        numeric = (loss(w + eps * direction) - loss(w - eps * direction)) / (2 * eps)
+        analytic = float((conv2d_backward_weights(x, g, spec) * direction).sum())
+        assert numeric == pytest.approx(analytic, rel=1e-6)
+
+
+class TestOrderFreedom:
+    def test_visit_order_does_not_matter(self, small_spec):
+        from repro.core import decompose
+
+        spec = small_spec
+        x, w = random_conv_operands(spec, seed=6)
+        g = _grad(spec)
+        reversed_order = list(reversed(decompose(spec)))
+        # g is real-valued, so different accumulation orders differ by ulps.
+        assert np.allclose(
+            conv2d_backward_data(g, w, spec),
+            conv2d_backward_data(g, w, spec, order=reversed_order),
+            rtol=1e-12, atol=1e-12,
+        )
+        assert np.allclose(
+            conv2d_backward_weights(x, g, spec),
+            conv2d_backward_weights(x, g, spec, order=reversed_order),
+            rtol=1e-12, atol=1e-12,
+        )
+
+
+class TestValidation:
+    def test_shape_mismatches(self, small_spec):
+        x, w = random_conv_operands(small_spec)
+        g = _grad(small_spec)
+        with pytest.raises(ValueError):
+            conv2d_backward_data(g[:1], w, small_spec)
+        with pytest.raises(ValueError):
+            conv2d_backward_data(g, w[:1], small_spec)
+        with pytest.raises(ValueError):
+            conv2d_backward_weights(x[:1], g, small_spec)

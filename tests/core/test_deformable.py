@@ -1,0 +1,93 @@
+"""Deformable convolution via the channel-first decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    decompose,
+    deformable_conv2d,
+    deformable_tile_gather,
+    direct_conv2d,
+    gather_traffic_elements,
+    random_conv_operands,
+    zero_offsets,
+)
+from repro.core.reference import pad_ifmap
+
+
+class TestZeroOffsetEquivalence:
+    def test_reduces_to_plain_conv(self, operands):
+        spec, x, w = operands
+        out = deformable_conv2d(x, w, zero_offsets(spec), spec)
+        assert np.allclose(out, direct_conv2d(x, w, spec))
+
+
+class TestIntegerOffsets:
+    def test_integer_shift_equals_shifted_taps(self, small_spec):
+        """An integer offset must sample exactly the shifted tap (bilinear
+        weights degenerate to a point)."""
+        spec = small_spec
+        x, _ = random_conv_operands(spec, seed=11)
+        padded = pad_ifmap(x, spec.padding)
+        tile = decompose(spec)[4]  # centre
+        offsets = zero_offsets(spec)
+        offsets[:, 2 * tile.index] = 1.0  # dy = +1 everywhere
+        gathered = deformable_tile_gather(padded, spec, tile, offsets)
+        below = decompose(spec)[7]  # position (2, 1): one row below centre
+        reference = deformable_tile_gather(padded, spec, below, zero_offsets(spec))
+        assert np.allclose(gathered, reference)
+
+    def test_out_of_range_samples_zero(self, small_spec):
+        spec = small_spec
+        x, _ = random_conv_operands(spec, seed=12)
+        padded = pad_ifmap(x, spec.padding)
+        tile = decompose(spec)[0]
+        offsets = zero_offsets(spec)
+        offsets[:, 2 * tile.index] = -100.0  # far above the image
+        gathered = deformable_tile_gather(padded, spec, tile, offsets)
+        assert np.all(gathered == 0.0)
+
+
+class TestFractionalOffsets:
+    def test_half_pixel_is_average(self):
+        """dy = 0.5 on a 1x1 filter averages vertical neighbours."""
+        from repro.core import ConvSpec
+
+        spec = ConvSpec(n=1, c_in=1, h_in=4, w_in=4, c_out=1, h_filter=1, w_filter=1)
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        w = np.ones((1, 1, 1, 1))
+        offsets = zero_offsets(spec)
+        offsets[:, 0] = 0.5
+        out = deformable_conv2d(x, w, offsets, spec)
+        expected = 0.5 * (x[0, 0] + np.vstack([x[0, 0, 1:], np.zeros((1, 4))]))
+        assert np.allclose(out[0, 0], expected)
+
+    def test_linearity_in_input(self, small_spec):
+        spec = small_spec
+        x, w = random_conv_operands(spec, seed=13)
+        rng = np.random.default_rng(14)
+        offsets = rng.uniform(-0.9, 0.9, size=zero_offsets(spec).shape)
+        out1 = deformable_conv2d(x, w, offsets, spec)
+        out2 = deformable_conv2d(2.0 * x, w, offsets, spec)
+        assert np.allclose(out2, 2.0 * out1)
+
+
+class TestAccounting:
+    def test_gather_traffic_is_4x_taps(self, small_spec):
+        spec = small_spec
+        taps = spec.lowered_rows() * spec.c_in * spec.positions
+        assert gather_traffic_elements(spec) == 4 * taps
+
+
+class TestValidation:
+    def test_offset_shape_checked(self, small_spec):
+        x, w = random_conv_operands(small_spec)
+        with pytest.raises(ValueError):
+            deformable_conv2d(x, w, np.zeros((1, 2, 3, 4)), small_spec)
+
+    def test_operand_shapes_checked(self, small_spec):
+        x, w = random_conv_operands(small_spec)
+        with pytest.raises(ValueError):
+            deformable_conv2d(x[:1], w, zero_offsets(small_spec), small_spec)
+        with pytest.raises(ValueError):
+            deformable_conv2d(x, w[:1], zero_offsets(small_spec), small_spec)

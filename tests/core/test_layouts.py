@@ -1,0 +1,87 @@
+"""Layout permutations and flat-index math."""
+
+import numpy as np
+import pytest
+
+from repro.core.layouts import Layout, dram_linear_address, flatten_index, nchw_to, to_nchw
+
+
+SHAPE = (2, 3, 4, 5)
+
+
+@pytest.fixture
+def tensor():
+    return np.arange(np.prod(SHAPE), dtype=np.float32).reshape(SHAPE)
+
+
+@pytest.mark.parametrize("layout", list(Layout))
+def test_round_trip(tensor, layout):
+    assert np.array_equal(to_nchw(nchw_to(tensor, layout), layout), tensor)
+
+
+@pytest.mark.parametrize("layout", list(Layout))
+def test_flatten_index_matches_physical_order(tensor, layout):
+    physical = nchw_to(tensor, layout).ravel()
+    for n in range(SHAPE[0]):
+        for c in range(SHAPE[1]):
+            for h in range(SHAPE[2]):
+                for w in range(SHAPE[3]):
+                    offset = flatten_index(layout, SHAPE, n, c, h, w)
+                    assert physical[offset] == tensor[n, c, h, w]
+
+
+def test_nchw_identity_permutation(tensor):
+    assert np.array_equal(nchw_to(tensor, Layout.NCHW), tensor)
+
+
+def test_nhwc_channel_adjacency(tensor):
+    """In NHWC, the channels of one pixel are adjacent — the property the
+    channel-first fill relies on."""
+    base = flatten_index(Layout.NHWC, SHAPE, 0, 0, 1, 2)
+    for c in range(1, SHAPE[1]):
+        assert flatten_index(Layout.NHWC, SHAPE, 0, c, 1, 2) == base + c
+
+
+def test_hwcn_batch_adjacency(tensor):
+    """In HWCN, the batch elements of one (pixel, channel) are adjacent —
+    what fills the vector-memory word (Sec. IV-A)."""
+    base = flatten_index(Layout.HWCN, SHAPE, 0, 1, 2, 3)
+    assert flatten_index(Layout.HWCN, SHAPE, 1, 1, 2, 3) == base + 1
+
+
+def test_nchw_row_adjacency(tensor):
+    base = flatten_index(Layout.NCHW, SHAPE, 0, 0, 0, 0)
+    assert flatten_index(Layout.NCHW, SHAPE, 0, 0, 0, 1) == base + 1
+
+
+def test_dram_linear_address_scales_by_elem_bytes():
+    a2 = dram_linear_address(Layout.NHWC, SHAPE, 1, 2, 3, 4, elem_bytes=2)
+    a4 = dram_linear_address(Layout.NHWC, SHAPE, 1, 2, 3, 4, elem_bytes=4)
+    assert a4 == 2 * a2
+
+
+def test_dram_linear_address_base_offset():
+    a = dram_linear_address(Layout.NCHW, SHAPE, 0, 0, 0, 0, base=1000)
+    assert a == 1000
+
+
+def test_flatten_index_bounds():
+    with pytest.raises(IndexError):
+        flatten_index(Layout.NCHW, SHAPE, 2, 0, 0, 0)
+    with pytest.raises(IndexError):
+        flatten_index(Layout.NCHW, SHAPE, 0, 0, -1, 0)
+
+
+def test_non_4d_rejected():
+    with pytest.raises(ValueError):
+        nchw_to(np.zeros((2, 3)), Layout.NHWC)
+    with pytest.raises(ValueError):
+        to_nchw(np.zeros((2, 3, 4)), Layout.NHWC)
+
+
+def test_axes_inverse_consistency():
+    for layout in Layout:
+        forward = layout.axes_from_nchw
+        inverse = layout.axes_to_nchw
+        composed = [forward[i] for i in inverse]
+        assert composed == [0, 1, 2, 3]

@@ -1,0 +1,116 @@
+"""Explicit im2col in both column orders, col2im, and Table I accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ColumnOrder,
+    column_permutation,
+    direct_conv2d,
+    flatten_filters,
+    ifmap_mb,
+    im2col,
+    lowered_matrix_mb,
+    col2im,
+    ofmap_from_gemm,
+    random_conv_operands,
+    unflatten_filters,
+)
+from repro.core.reference import gemm
+
+ORDERS = [ColumnOrder.CHANNEL_LAST, ColumnOrder.CHANNEL_FIRST]
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_lowered_gemm_equals_direct_conv(operands, order):
+    spec, ifmap, weights = operands
+    lowered = im2col(ifmap, spec, order)
+    flat = flatten_filters(weights, spec, order)
+    out = ofmap_from_gemm(gemm(lowered, flat), spec)
+    assert np.array_equal(out, direct_conv2d(ifmap, weights, spec))
+
+
+def test_lowered_shape(operands):
+    spec, ifmap, _ = operands
+    lowered = im2col(ifmap, spec, ColumnOrder.CHANNEL_FIRST)
+    assert lowered.shape == (spec.lowered_rows(), spec.lowered_cols())
+
+
+def test_orders_are_column_permutations(operands):
+    """The paper's 'General Principle': channel-first is a column shuffle of
+    channel-last, and GEMM is invariant under matched shuffles."""
+    spec, ifmap, weights = operands
+    low_cl = im2col(ifmap, spec, ColumnOrder.CHANNEL_LAST)
+    low_cf = im2col(ifmap, spec, ColumnOrder.CHANNEL_FIRST)
+    perm = column_permutation(spec)
+    assert np.array_equal(low_cf, low_cl[:, perm])
+    flat_cl = flatten_filters(weights, spec, ColumnOrder.CHANNEL_LAST)
+    flat_cf = flatten_filters(weights, spec, ColumnOrder.CHANNEL_FIRST)
+    assert np.array_equal(flat_cf, flat_cl[perm, :])
+
+
+def test_column_permutation_is_permutation(small_spec):
+    perm = column_permutation(small_spec)
+    assert sorted(perm) == list(range(small_spec.lowered_cols()))
+
+
+def test_column_index_conventions(small_spec):
+    # channel-last: C -> HF -> WF; channel-first: HF -> WF -> C
+    s = small_spec
+    assert ColumnOrder.CHANNEL_LAST.column_index(s, c=1, r=0, s=0) == s.h_filter * s.w_filter
+    assert ColumnOrder.CHANNEL_FIRST.column_index(s, c=1, r=0, s=0) == 1
+    assert ColumnOrder.CHANNEL_FIRST.column_index(s, c=0, r=0, s=1) == s.c_in
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_filter_flatten_round_trip(operands, order):
+    spec, _, weights = operands
+    flat = flatten_filters(weights, spec, order)
+    assert np.array_equal(unflatten_filters(flat, spec, order), weights)
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_col2im_counts_window_coverage(operands, order):
+    """col2im(im2col(x)) scales each element by its window multiplicity;
+    with an all-ones input the result directly counts coverage, which must
+    total rows x cols of the lowered matrix minus the padding taps."""
+    spec, ifmap, _ = operands
+    ones = np.ones_like(ifmap)
+    coverage = col2im(im2col(ones, spec, order), spec, order)
+    lowered_taps = spec.lowered_rows() * spec.lowered_cols()
+    padding_taps = lowered_taps - int(coverage.sum())
+    assert coverage.min() >= 0
+    assert padding_taps >= 0
+    if spec.padding == 0:
+        assert padding_taps == 0
+
+
+@pytest.mark.parametrize("order", ORDERS)
+def test_col2im_is_adjoint_of_im2col(operands, order):
+    """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+    spec, ifmap, _ = operands
+    rng = np.random.default_rng(11)
+    y = rng.standard_normal((spec.lowered_rows(), spec.lowered_cols()))
+    lhs = float((im2col(ifmap, spec, order).astype(np.float64) * y).sum())
+    rhs = float((ifmap.astype(np.float64) * col2im(y, spec, order)).sum())
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+def test_table1_accounting(small_spec):
+    assert lowered_matrix_mb(small_spec) == pytest.approx(
+        small_spec.lowered_bytes(2) / 2**20
+    )
+    assert ifmap_mb(small_spec) == pytest.approx(small_spec.ifmap_bytes(2) / 2**20)
+    assert lowered_matrix_mb(small_spec) > ifmap_mb(small_spec)
+
+
+def test_shape_validation(small_spec):
+    ifmap, weights = random_conv_operands(small_spec)
+    with pytest.raises(ValueError):
+        im2col(ifmap[:1], small_spec, ColumnOrder.CHANNEL_LAST)
+    with pytest.raises(ValueError):
+        flatten_filters(weights[:, :1], small_spec, ColumnOrder.CHANNEL_LAST)
+    with pytest.raises(ValueError):
+        col2im(np.zeros((3, 3)), small_spec, ColumnOrder.CHANNEL_LAST)
+    with pytest.raises(ValueError):
+        ofmap_from_gemm(np.zeros((3, 3)), small_spec)

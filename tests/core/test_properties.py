@@ -1,0 +1,146 @@
+"""Property-based tests (hypothesis) for the core algorithm invariants.
+
+These pin the load-bearing algebraic facts the whole reproduction rests on:
+every lowering path computes the same convolution as the direct reference,
+for arbitrary geometry (batch, channels, filter, stride, padding, dilation)
+and arbitrary integer-valued data (so equality is exact, no tolerances).
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ColumnOrder,
+    ConvSpec,
+    column_permutation,
+    conv2d_channel_first,
+    direct_conv2d,
+    flatten_filters,
+    greedy_reuse_order,
+    im2col,
+    merged_gemm_operands,
+    ofmap_from_gemm,
+    order_reuse_fraction,
+    overlap_fraction,
+    plan_multi_tile,
+    decompose,
+    tpu_multi_tile_policy,
+)
+from repro.core.reference import gemm
+
+
+@st.composite
+def conv_specs(draw):
+    """Random small-but-interesting conv geometries (filter fits input)."""
+    h_filter = draw(st.integers(1, 4))
+    w_filter = draw(st.integers(1, 4))
+    stride = draw(st.integers(1, 3))
+    dilation = draw(st.integers(1, 2))
+    padding = draw(st.integers(0, 2))
+    eff_h = dilation * (h_filter - 1) + 1
+    eff_w = dilation * (w_filter - 1) + 1
+    h_in = draw(st.integers(max(1, eff_h - 2 * padding), 10))
+    w_in = draw(st.integers(max(1, eff_w - 2 * padding), 10))
+    # Guarantee the filter fits at least once.
+    h_in = max(h_in, eff_h - 2 * padding)
+    w_in = max(w_in, eff_w - 2 * padding)
+    return ConvSpec(
+        n=draw(st.integers(1, 3)),
+        c_in=draw(st.integers(1, 5)),
+        h_in=h_in,
+        w_in=w_in,
+        c_out=draw(st.integers(1, 5)),
+        h_filter=h_filter,
+        w_filter=w_filter,
+        stride=stride,
+        padding=padding,
+        dilation=dilation,
+    )
+
+
+def _operands(spec, seed):
+    rng = np.random.default_rng(seed)
+    ifmap = rng.integers(-3, 4, size=spec.ifmap_shape).astype(np.float64)
+    weights = rng.integers(-3, 4, size=spec.filter_shape).astype(np.float64)
+    return ifmap, weights
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=conv_specs(), seed=st.integers(0, 2**16))
+def test_channel_first_equals_direct(spec, seed):
+    ifmap, weights = _operands(spec, seed)
+    assert np.array_equal(
+        conv2d_channel_first(ifmap, weights, spec), direct_conv2d(ifmap, weights, spec)
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=conv_specs(), seed=st.integers(0, 2**16))
+def test_both_explicit_lowerings_equal_direct(spec, seed):
+    ifmap, weights = _operands(spec, seed)
+    reference = direct_conv2d(ifmap, weights, spec)
+    for order in ColumnOrder:
+        lowered = im2col(ifmap, spec, order)
+        out = ofmap_from_gemm(gemm(lowered, flatten_filters(weights, spec, order)), spec)
+        assert np.array_equal(out, reference)
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=conv_specs(), seed=st.integers(0, 2**16))
+def test_column_permutation_links_orders(spec, seed):
+    ifmap, _ = _operands(spec, seed)
+    perm = column_permutation(spec)
+    low_cl = im2col(ifmap, spec, ColumnOrder.CHANNEL_LAST)
+    low_cf = im2col(ifmap, spec, ColumnOrder.CHANNEL_FIRST)
+    assert np.array_equal(low_cf, low_cl[:, perm])
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=conv_specs(), seed=st.integers(0, 2**16), group_size=st.integers(1, 6))
+def test_multi_tile_merge_preserves_conv(spec, seed, group_size):
+    """The Sec. IV-B merge is exact for every group size and geometry."""
+    ifmap, weights = _operands(spec, seed)
+    acc = np.zeros((spec.lowered_rows(), spec.c_out))
+    for group in plan_multi_tile(spec, group_size):
+        a, b = merged_gemm_operands(ifmap, weights, spec, group)
+        acc += a @ b
+    assert np.array_equal(ofmap_from_gemm(acc, spec), direct_conv2d(ifmap, weights, spec))
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=conv_specs())
+def test_overlap_fraction_is_symmetric_and_bounded(spec):
+    tiles = decompose(spec)
+    for a in tiles[: min(4, len(tiles))]:
+        for b in tiles[-min(4, len(tiles)):]:
+            if a.index == b.index:
+                continue
+            f_ab = overlap_fraction(spec, a, b)
+            f_ba = overlap_fraction(spec, b, a)
+            assert 0.0 <= f_ab <= 1.0
+            assert f_ab == f_ba
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=conv_specs())
+def test_greedy_order_never_worse_than_naive(spec):
+    naive = order_reuse_fraction(spec, decompose(spec))
+    greedy = order_reuse_fraction(spec, greedy_reuse_order(spec))
+    assert greedy >= naive - 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=conv_specs(), array=st.sampled_from([32, 64, 128, 256]))
+def test_policy_bounds(spec, array):
+    tiles = tpu_multi_tile_policy(spec, array)
+    assert 1 <= tiles <= max(1, spec.w_filter)
+    if spec.c_in <= array and tiles > 1:
+        assert tiles * spec.c_in <= array or tiles == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=conv_specs())
+def test_lowered_geometry_identities(spec):
+    assert spec.gemm_shape().macs == spec.macs
+    assert spec.lowered_elements() == spec.lowered_rows() * spec.lowered_cols()
+    assert spec.positions == spec.h_filter * spec.w_filter

@@ -1,0 +1,94 @@
+"""Direct-convolution and GEMM references."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConvSpec, direct_conv2d, gemm, random_conv_operands
+from repro.core.reference import pad_ifmap
+
+
+def naive_conv(ifmap, weights, spec):
+    """Sextuple-loop convolution — the slowest, most obviously-correct oracle."""
+    padded = pad_ifmap(ifmap, spec.padding).astype(np.float64)
+    out = np.zeros(spec.ofmap_shape)
+    for n in range(spec.n):
+        for co in range(spec.c_out):
+            for oy in range(spec.h_out):
+                for ox in range(spec.w_out):
+                    acc = 0.0
+                    for ci in range(spec.c_in):
+                        for r in range(spec.h_filter):
+                            for s in range(spec.w_filter):
+                                y = oy * spec.stride + r * spec.dilation
+                                x = ox * spec.stride + s * spec.dilation
+                                acc += padded[n, ci, y, x] * float(weights[co, ci, r, s])
+                    out[n, co, oy, ox] = acc
+    return out
+
+
+def test_direct_conv_matches_naive_loops(operands):
+    spec, ifmap, weights = operands
+    assert np.array_equal(direct_conv2d(ifmap, weights, spec), naive_conv(ifmap, weights, spec))
+
+
+def test_direct_conv_identity_kernel():
+    spec = ConvSpec(n=1, c_in=1, h_in=4, w_in=4, c_out=1, h_filter=1, w_filter=1)
+    ifmap = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+    weights = np.ones((1, 1, 1, 1), dtype=np.float32)
+    assert np.array_equal(direct_conv2d(ifmap, weights, spec)[0, 0], ifmap[0, 0])
+
+
+def test_direct_conv_shape_validation(small_spec):
+    ifmap, weights = random_conv_operands(small_spec)
+    with pytest.raises(ValueError):
+        direct_conv2d(ifmap[:, :1], weights, small_spec)
+    with pytest.raises(ValueError):
+        direct_conv2d(ifmap, weights[:1], small_spec)
+
+
+def test_gemm_basic():
+    a = np.array([[1.0, 2.0], [3.0, 4.0]])
+    b = np.array([[5.0, 6.0], [7.0, 8.0]])
+    assert np.array_equal(gemm(a, b), a @ b)
+
+
+def test_gemm_accumulate():
+    a = np.ones((2, 3))
+    b = np.ones((3, 2))
+    acc = np.ones((2, 2))
+    result = gemm(a, b, accumulate_into=acc)
+    assert result is acc
+    assert np.array_equal(acc, np.full((2, 2), 4.0))
+
+
+def test_gemm_dim_checks():
+    with pytest.raises(ValueError):
+        gemm(np.ones((2, 3)), np.ones((2, 3)))
+    with pytest.raises(ValueError):
+        gemm(np.ones(3), np.ones((3, 2)))
+    with pytest.raises(ValueError):
+        gemm(np.ones((2, 3)), np.ones((3, 2)), accumulate_into=np.ones((3, 3)))
+
+
+def test_pad_ifmap_zero_is_noop():
+    x = np.ones((1, 1, 3, 3))
+    assert pad_ifmap(x, 0) is x
+
+
+def test_pad_ifmap_negative_rejected():
+    with pytest.raises(ValueError):
+        pad_ifmap(np.ones((1, 1, 3, 3)), -1)
+
+
+def test_random_operands_deterministic(small_spec):
+    a1, w1 = random_conv_operands(small_spec, seed=3)
+    a2, w2 = random_conv_operands(small_spec, seed=3)
+    a3, _ = random_conv_operands(small_spec, seed=4)
+    assert np.array_equal(a1, a2) and np.array_equal(w1, w2)
+    assert not np.array_equal(a1, a3)
+
+
+def test_random_operands_small_integers(small_spec):
+    ifmap, weights = random_conv_operands(small_spec)
+    assert np.all(np.abs(ifmap) <= 4) and np.all(np.abs(weights) <= 4)
+    assert ifmap.dtype == np.float32

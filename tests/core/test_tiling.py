@@ -1,0 +1,139 @@
+"""Capacity tiling and the multi-tile merge optimisation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConvSpec,
+    direct_conv2d,
+    merged_gemm_operands,
+    ofmap_from_gemm,
+    plan_multi_tile,
+    plan_row_tiles,
+    random_conv_operands,
+    tpu_multi_tile_policy,
+    workspace_elements,
+    array_k_utilization,
+)
+
+
+class TestRowTiles:
+    def test_exact_division(self):
+        tiles = plan_row_tiles(100, 25)
+        assert [t.rows for t in tiles] == [25, 25, 25, 25]
+        assert tiles[0].row_start == 0 and tiles[-1].row_end == 100
+
+    def test_remainder(self):
+        tiles = plan_row_tiles(10, 4)
+        assert [t.rows for t in tiles] == [4, 4, 2]
+
+    def test_single(self):
+        assert len(plan_row_tiles(5, 100)) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            plan_row_tiles(0, 4)
+        with pytest.raises(ValueError):
+            plan_row_tiles(4, 0)
+
+
+class TestMultiTilePolicy:
+    def test_paper_study_layer(self):
+        """N=8, C_I=8, W_F=3 -> min(128/8, 3) = 3 (Fig 14a)."""
+        spec = ConvSpec(n=8, c_in=8, h_in=128, w_in=128, c_out=128,
+                        h_filter=3, w_filter=3, padding=1)
+        assert tpu_multi_tile_policy(spec) == 3
+
+    def test_bounded_by_array(self):
+        spec = ConvSpec(n=1, c_in=64, h_in=16, w_in=16, c_out=8,
+                        h_filter=7, w_filter=7, padding=3)
+        assert tpu_multi_tile_policy(spec, array_rows=128) == 2  # 128//64
+
+    def test_large_channels_no_merge(self):
+        spec = ConvSpec(n=1, c_in=256, h_in=16, w_in=16, c_out=8,
+                        h_filter=3, w_filter=3, padding=1)
+        assert tpu_multi_tile_policy(spec) == 1
+
+    def test_always_at_least_one(self):
+        spec = ConvSpec(n=1, c_in=512, h_in=8, w_in=8, c_out=8,
+                        h_filter=1, w_filter=1)
+        assert tpu_multi_tile_policy(spec, array_rows=128) == 1
+
+    def test_invalid_array(self):
+        spec = ConvSpec(n=1, c_in=4, h_in=8, w_in=8, c_out=8, h_filter=3, w_filter=3)
+        with pytest.raises(ValueError):
+            tpu_multi_tile_policy(spec, array_rows=0)
+
+
+class TestGrouping:
+    def test_row_aligned_never_crosses_rows(self, small_spec):
+        for g in range(1, 5):
+            for group in plan_multi_tile(small_spec, g, row_aligned=True):
+                rows = {t.r for t in group.tiles}
+                assert len(rows) == 1
+
+    def test_row_aligned_covers_all(self, small_spec):
+        for g in range(1, 5):
+            groups = plan_multi_tile(small_spec, g, row_aligned=True)
+            indices = sorted(t.index for grp in groups for t in grp.tiles)
+            assert indices == list(range(small_spec.positions))
+
+    def test_unaligned_group_sizes(self, small_spec):
+        groups = plan_multi_tile(small_spec, 4, row_aligned=False)
+        assert [g.group_size for g in groups] == [4, 4, 1]
+
+    def test_merged_k(self, small_spec):
+        group = plan_multi_tile(small_spec, 3)[0]
+        assert group.merged_k == 3 * small_spec.c_in
+
+    def test_invalid_group_size(self, small_spec):
+        with pytest.raises(ValueError):
+            plan_multi_tile(small_spec, 0)
+
+
+class TestMergedGemm:
+    @pytest.mark.parametrize("group_size", [1, 2, 3])
+    def test_merged_gemm_computes_conv(self, operands, group_size):
+        """Associativity of GEMM over the concatenated K axis: summing the
+        merged group GEMMs reproduces the convolution exactly."""
+        spec, ifmap, weights = operands
+        acc = np.zeros((spec.lowered_rows(), spec.c_out))
+        for group in plan_multi_tile(spec, group_size):
+            a, b = merged_gemm_operands(ifmap, weights, spec, group)
+            assert a.shape == (spec.lowered_rows(), group.merged_k)
+            acc += a @ b
+        assert np.array_equal(ofmap_from_gemm(acc, spec), direct_conv2d(ifmap, weights, spec))
+
+    def test_operand_validation(self, small_spec):
+        ifmap, weights = random_conv_operands(small_spec)
+        group = plan_multi_tile(small_spec, 2)[0]
+        with pytest.raises(ValueError):
+            merged_gemm_operands(ifmap[:1], weights, small_spec, group)
+
+
+class TestDuplication:
+    def test_single_tile_no_duplication(self, small_spec):
+        group = plan_multi_tile(small_spec, 1)[0]
+        assert group.duplication_factor() == pytest.approx(1.0)
+
+    def test_stride1_merge_duplicates(self, small_spec):
+        """Fig 11: merging adjacent stride-1 tiles stores overlapping data
+        roughly group-size times."""
+        group = plan_multi_tile(small_spec, 3)[0]
+        assert group.duplication_factor() > 1.5
+
+    def test_workspace_grows_linearly(self):
+        spec = ConvSpec(n=2, c_in=8, h_in=32, w_in=32, c_out=16,
+                        h_filter=3, w_filter=3, padding=1)
+        w1 = workspace_elements(spec, 1)
+        w2 = workspace_elements(spec, 2)
+        w3 = workspace_elements(spec, 3)
+        assert w2 == 2 * w1
+        assert w3 == 3 * w1
+
+    def test_k_utilization_saturates(self):
+        spec = ConvSpec(n=1, c_in=8, h_in=16, w_in=16, c_out=16,
+                        h_filter=3, w_filter=3, padding=1)
+        assert array_k_utilization(spec, 1) == pytest.approx(8 / 128)
+        assert array_k_utilization(spec, 3) == pytest.approx(24 / 128)
+        assert array_k_utilization(spec, 32) == 1.0

@@ -1,0 +1,55 @@
+"""Tensor-core compute timing: padding, serial bound, adaptive tiles."""
+
+import pytest
+
+from repro.gpu import V100, padded_macs, tc_gemm_compute_seconds, wave_count
+
+
+class TestPadding:
+    def test_exact_multiple_no_padding(self):
+        assert padded_macs(256, 64, 256, V100) == 256 * 64 * 256
+
+    def test_padding_rounds_up(self):
+        assert padded_macs(129, 33, 129, V100) == 256 * 64 * 256
+
+    def test_wave_count(self):
+        # 1024x1024 -> 64 tiles of 128x128; 160 concurrent slots -> 1 wave
+        assert wave_count(1024, 1024, V100) == 1
+        assert wave_count(8192, 8192, V100) == pytest.approx(4096 / 160, abs=1)
+
+
+class TestThroughput:
+    def test_big_gemm_near_sustained(self):
+        t = tc_gemm_compute_seconds(8192, 8192, 8192, V100)
+        ideal = 8192 ** 3 / V100.sustained_macs_per_s
+        assert t.seconds == pytest.approx(ideal, rel=0.02)
+
+    def test_small_gemm_slower_per_mac(self):
+        small = tc_gemm_compute_seconds(128, 2048, 64, V100)
+        big = tc_gemm_compute_seconds(8192, 2048, 8192, V100)
+        small_rate = 128 * 2048 * 64 / small.seconds
+        big_rate = 8192 * 2048 * 8192 / big.seconds
+        assert small_rate < big_rate
+
+    def test_adaptive_tiling_helps_small_grids(self):
+        """A skinny GEMM must beat the naive 128x128 single-tile serial
+        bound (real libraries pick smaller tiles)."""
+        t = tc_gemm_compute_seconds(1024, 2304, 128, V100)
+        serial_128 = (128 * 128 * 2304) / (V100.sustained_macs_per_s / V100.num_sms)
+        assert t.seconds < serial_128
+
+    def test_monotone_in_each_dim(self):
+        base = tc_gemm_compute_seconds(1024, 1024, 1024, V100).seconds
+        assert tc_gemm_compute_seconds(2048, 1024, 1024, V100).seconds > base
+        assert tc_gemm_compute_seconds(1024, 2048, 1024, V100).seconds > base
+        assert tc_gemm_compute_seconds(1024, 1024, 2048, V100).seconds > base
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            tc_gemm_compute_seconds(0, 1, 1, V100)
+
+    def test_reports_executed_and_tiles(self):
+        t = tc_gemm_compute_seconds(256, 64, 256, V100)
+        assert t.executed_macs >= 256 * 64 * 256
+        assert t.tiles >= 1
+        assert t.waves >= 1

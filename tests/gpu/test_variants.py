@@ -1,0 +1,76 @@
+"""GPU CONV variants: dilated and deformable."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ConvSpec
+from repro.gpu import (
+    V100,
+    deformable_conv_time_channel_first,
+    deformable_conv_time_fallback,
+    dilated_conv_times,
+)
+
+
+@pytest.fixture
+def dilated():
+    return ConvSpec(n=8, c_in=128, h_in=28, w_in=28, c_out=128,
+                    h_filter=3, w_filter=3, stride=1, padding=2, dilation=2)
+
+
+@pytest.fixture
+def deformable_layer():
+    return ConvSpec(n=8, c_in=128, h_in=28, w_in=28, c_out=128,
+                    h_filter=3, w_filter=3, stride=1, padding=1)
+
+
+class TestDilated:
+    def test_both_paths_run(self, dilated):
+        cl, cf = dilated_conv_times(dilated, V100)
+        assert cl.seconds > 0 and cf.seconds > 0
+        assert cf.kernel.macs == dilated.macs
+
+    def test_channel_first_never_much_slower(self, dilated):
+        cl, cf = dilated_conv_times(dilated, V100)
+        assert cf.seconds <= cl.seconds * 1.1
+
+    def test_rejects_dilation_1(self, deformable_layer):
+        with pytest.raises(ValueError):
+            dilated_conv_times(deformable_layer, V100)
+
+
+class TestDeformable:
+    def test_fused_beats_fallback(self, deformable_layer):
+        """The Sec. II-C claim: the channel-last ecosystem's explicit gather
+        + GEMM loses to the fused channel-first gather."""
+        fallback = deformable_conv_time_fallback(deformable_layer, V100)
+        fused = deformable_conv_time_channel_first(deformable_layer, V100)
+        assert fused.seconds < fallback.seconds
+
+    def test_fallback_includes_lowered_materialisation(self, deformable_layer):
+        fallback = deformable_conv_time_fallback(deformable_layer, V100)
+        assert fallback.traffic_bytes > deformable_layer.lowered_bytes(2)
+
+    def test_both_report_algorithmic_macs(self, deformable_layer):
+        fused = deformable_conv_time_channel_first(deformable_layer, V100)
+        fallback = deformable_conv_time_fallback(deformable_layer, V100)
+        assert fused.macs == fallback.macs == deformable_layer.macs
+
+    def test_deformable_costs_more_than_plain(self, deformable_layer):
+        """The 4x bilinear gather must cost something vs plain conv."""
+        from repro.gpu import channel_first_conv_time
+
+        plain = channel_first_conv_time(deformable_layer, V100)
+        fused = deformable_conv_time_channel_first(deformable_layer, V100)
+        assert fused.seconds >= plain.seconds
+
+    def test_advantage_holds_across_spatial_sizes(self):
+        """The fused gather wins at small and large IFMaps alike (both the
+        materialised matrix and the gather scale with the output count)."""
+        for size in (14, 56):
+            spec = ConvSpec(n=8, c_in=64, h_in=size, w_in=size, c_out=64,
+                            h_filter=3, w_filter=3, stride=1, padding=1)
+            fallback = deformable_conv_time_fallback(spec, V100)
+            fused = deformable_conv_time_channel_first(spec, V100)
+            assert fallback.seconds / fused.seconds > 1.1

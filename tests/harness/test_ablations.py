@@ -1,0 +1,64 @@
+"""The ablation/extension experiment's shape assertions."""
+
+import pytest
+
+from repro.harness.experiments import ablations
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ablations.run()
+
+
+def test_channel_last_counterfactual(result):
+    table = result.table("Counterfactual: channel-last schedule on the TPU (TFLOPS)")
+    advantage = dict(zip(table.column("stride"), table.column("CF advantage")))
+    assert advantage[1] == pytest.approx(1.0, abs=0.15)
+    assert advantage[2] > 1.3
+    assert advantage[4] > 3.0
+
+
+def test_weight_fifo_helps(result):
+    table = result.table("Weight-FIFO double buffering")
+    cycles = dict(zip(table.column("config"), table.column("cycles")))
+    assert cycles["with FIFO"] < cycles["serial weight loads"]
+
+
+def test_dram_layout_penalty_grows_with_stride(result):
+    table = result.table("DRAM layout for IFMap fills (TPU conv)")
+    ratios = dict(zip(table.column("stride"), table.column("CHW/HWC")))
+    assert ratios[1] >= 0.99
+    assert ratios[4] > ratios[1]
+
+
+def test_reordering_recovers_stride2_reuse(result):
+    table = result.table("Decomposed-filter visit order (reuse fraction)")
+    rows = {r[0]: (r[1], r[2]) for r in table.rows}
+    naive_s2, greedy_s2 = rows[2]
+    assert naive_s2 == 0.0
+    assert greedy_s2 > 0.4
+
+
+def test_deformable_speedup(result):
+    table = result.table("CONV variants on V100 (ms)")
+    rows = {r[0]: r[3] for r in table.rows}
+    assert rows["deformable"] > 1.1
+    assert rows["dilated (d=2)"] > 0.85  # near parity or better
+
+
+def test_multicore_efficiency(result):
+    table = result.table("Data-parallel TPU cores (batch 64)")
+    efficiencies = table.column("efficiency")
+    assert all(e > 0.9 for e in efficiencies)
+
+
+def test_energy_word_knee(result):
+    table = result.table("Energy per MAC vs vector-memory word (pJ)")
+    pj = dict(zip(table.column("word (elems)"), table.column("pJ/MAC")))
+    assert pj[2] > pj[8] > pj[32]
+
+
+def test_registered_in_runner():
+    from repro.harness.runner import EXPERIMENTS
+
+    assert "ablations" in EXPERIMENTS

@@ -1,0 +1,35 @@
+"""Batch-sweep extension experiment."""
+
+import pytest
+
+from repro.harness.experiments import batch_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return batch_sweep.run()
+
+
+def test_tpu_monotone_in_batch(result):
+    table = result.table("TFLOPS vs batch (28x28, 128->128, 3x3)")
+    tpu = table.column("TPU implicit")
+    assert all(b >= a - 1e-9 for a, b in zip(tpu, tpu[1:]))
+
+
+def test_explicit_always_trails(result):
+    table = result.table("TFLOPS vs batch (28x28, 128->128, 3x3)")
+    for row in table.rows:
+        assert row[2] < row[1]
+
+
+def test_gpu_scales_then_saturates(result):
+    table = result.table("TFLOPS vs batch (28x28, 128->128, 3x3)")
+    gpu = dict(zip(table.column("batch"), table.column("V100 channel-first")))
+    assert gpu[8] > 1.5 * gpu[1]
+    assert gpu[64] < 1.2 * gpu[32]
+
+
+def test_registered():
+    from repro.harness.runner import EXPERIMENTS
+
+    assert "batch_sweep" in EXPERIMENTS

@@ -1,0 +1,54 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_list_networks(capsys):
+    assert main(["list-networks"]) == 0
+    out = capsys.readouterr().out
+    assert "VGG16" in out and "ResNet" in out
+
+
+def test_simulate_conv_defaults(capsys):
+    assert main(["simulate-conv"]) == 0
+    out = capsys.readouterr().out
+    assert "TPU-v2" in out and "V100" in out and "TFLOPS" in out
+
+
+def test_simulate_conv_custom_shape(capsys):
+    assert main(["simulate-conv", "--c-in", "64", "--size", "14", "--stride", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "s2" in out
+
+
+def test_simulate_network_tpu(capsys):
+    assert main(["simulate-network", "AlexNet", "--batch", "4"]) == 0
+    assert "AlexNet" in capsys.readouterr().out
+
+
+def test_simulate_network_gpu(capsys):
+    assert main(["simulate-network", "ZFNet", "--platform", "gpu"]) == 0
+    assert "V100" in capsys.readouterr().out
+
+
+def test_sweep_stride(capsys):
+    assert main(["sweep-stride", "--batch", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "TPU CF" in out and "GEMM" in out
+
+
+def test_experiments_subcommand(capsys):
+    assert main(["experiments", "table2"]) == 0
+    assert "Table II" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_unknown_network_errors():
+    with pytest.raises(KeyError):
+        main(["simulate-network", "LeNet"])

@@ -1,0 +1,38 @@
+"""Extended-DSE experiment shapes."""
+
+import pytest
+
+from repro.harness.experiments import design_space_plus
+
+
+@pytest.fixture(scope="module")
+def result():
+    return design_space_plus.run()
+
+
+def test_bandwidth_monotone_and_saturating(result):
+    table = result.table("HBM bandwidth sweep (VGG16, batch 8)")
+    tflops = table.column("TFLOPS")
+    assert all(b >= a - 1e-9 for a, b in zip(tflops, tflops[1:]))
+    by_bw = dict(zip(table.column("GB/s"), tflops))
+    assert by_bw[1400] < 1.05 * by_bw[700]  # saturated
+
+
+def test_port_budget_table(result):
+    table = result.table("Port budget: arrays feedable per word size")
+    by_word = dict(zip(table.column("word (elems)"), table.column("max arrays")))
+    assert by_word[8] == 4 and by_word[2] == 1
+
+
+def test_dual_mxu_scaling_shape(result):
+    table = result.table("Dual-MXU core (word 8, shared vector memories)")
+    for row in table.rows:
+        scaling, starved = row[4], row[5]
+        assert scaling > 1.7
+        assert starved < scaling
+
+
+def test_registered():
+    from repro.harness.runner import EXPERIMENTS
+
+    assert "design_space_plus" in EXPERIMENTS

@@ -1,0 +1,66 @@
+"""JSON/CSV export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.harness.export import result_to_dict, slugify, table_to_rows, write_results
+from repro.harness.report import ExperimentResult, Table
+
+
+@pytest.fixture
+def result():
+    r = ExperimentResult("demo", "Demo experiment")
+    table = r.add_table(Table("A table: title!", ("name", "value")))
+    table.add_row("x", 1.5)
+    table.add_row("y", 2)
+    r.note("a note")
+    return r
+
+
+def test_slugify():
+    assert slugify("Fig 2a: V100 GPU (normalized)") == "fig-2a-v100-gpu-normalized"
+    assert slugify("!!!") == "table"
+
+
+def test_table_to_rows(result):
+    rows = table_to_rows(result.tables[0])
+    assert rows == [{"name": "x", "value": 1.5}, {"name": "y", "value": 2}]
+
+
+def test_result_to_dict_round_trips_json(result):
+    payload = json.dumps(result_to_dict(result))
+    parsed = json.loads(payload)
+    assert parsed["experiment_id"] == "demo"
+    assert parsed["tables"][0]["rows"] == [["x", 1.5], ["y", 2]]
+    assert parsed["notes"] == ["a note"]
+
+
+def test_write_results(result, tmp_path):
+    paths = write_results([result], tmp_path)
+    names = {p.name for p in paths}
+    assert "demo.json" in names
+    csv_files = [p for p in paths if p.suffix == ".csv"]
+    assert len(csv_files) == 1
+    with csv_files[0].open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows[0] == ["name", "value"]
+    assert rows[1] == ["x", "1.5"]
+
+
+def test_runner_export_flag(tmp_path, capsys):
+    from repro.harness.runner import main
+
+    assert main(["table2", "--export-dir", str(tmp_path)]) == 0
+    assert (tmp_path / "table2.json").exists()
+    exported = json.loads((tmp_path / "table2.json").read_text())
+    assert exported["experiment_id"] == "table2"
+
+
+def test_real_experiment_exports_cleanly(tmp_path):
+    from repro.harness.experiments import table1
+
+    paths = write_results([table1.run()], tmp_path)
+    assert any(p.suffix == ".json" for p in paths)
+    assert any(p.suffix == ".csv" for p in paths)

@@ -1,0 +1,52 @@
+"""The extensions experiment's shape assertions."""
+
+import pytest
+
+from repro.harness.experiments import extensions
+
+
+@pytest.fixture(scope="module")
+def result():
+    return extensions.run()
+
+
+def test_grouped_utilization_collapses(result):
+    table = result.table("Grouped conv on the TPU (C=256, 28x28, 3x3, batch 8)")
+    util = dict(zip(table.column("groups"), table.column("utilization")))
+    assert util[1] > 0.9
+    assert util[16] < 0.2
+    assert util[256] < 0.01
+    # utilization is monotone non-increasing in group count
+    values = [util[g] for g in sorted(util)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_multi_tile_engages_for_small_groups(result):
+    table = result.table("Grouped conv on the TPU (C=256, 28x28, 3x3, batch 8)")
+    tiles = dict(zip(table.column("groups"), table.column("multi-tile")))
+    assert tiles[1] == 1
+    assert tiles[256] == 3  # W_F bound
+
+
+def test_depthwise_rows_present(result):
+    table = result.table("Depthwise layers (MobileNet-style)")
+    assert len(table.rows) == 3
+    assert all(row[2] < 0.01 for row in table.rows)
+
+
+def test_skew_overhead_band(result):
+    table = result.table("Skewed-data-layout alternative (VGG16, batch 8)")
+    fraction = table.rows[1][2]
+    assert 0.05 < fraction < 0.4
+
+
+def test_training_ratio_about_2x(result):
+    table = result.table("Training-step GEMM volumes (batch 8)")
+    for row in table.rows:
+        assert row[4] == pytest.approx(2.0, abs=0.3)
+
+
+def test_registered():
+    from repro.harness.runner import EXPERIMENTS
+
+    assert "extensions" in EXPERIMENTS

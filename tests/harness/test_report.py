@@ -1,0 +1,59 @@
+"""Text report rendering."""
+
+import pytest
+
+from repro.harness.report import ExperimentResult, Table, fmt
+
+
+class TestFmt:
+    def test_floats(self):
+        assert fmt(0.123456) == "0.123"
+        assert fmt(3.14159) == "3.14"
+        assert fmt(12345.6) == "12346"
+        assert fmt(0.0) == "0"
+
+    def test_non_floats(self):
+        assert fmt(42) == "42"
+        assert fmt("x") == "x"
+        assert fmt(True) == "True"
+
+
+class TestTable:
+    def test_add_and_render(self):
+        table = Table("T", ("a", "b"))
+        table.add_row(1, 2.5)
+        text = table.render()
+        assert "T" in text and "a" in text and "2.50" in text
+
+    def test_row_width_checked(self):
+        table = Table("T", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_column_extraction(self):
+        table = Table("T", ("name", "value"))
+        table.add_row("x", 1)
+        table.add_row("y", 2)
+        assert table.column("value") == [1, 2]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_render_empty(self):
+        assert "T" in Table("T", ("a",)).render()
+
+
+class TestExperimentResult:
+    def test_tables_and_notes(self):
+        result = ExperimentResult("exp", "Title")
+        table = result.add_table(Table("inner", ("x",)))
+        table.add_row(1)
+        result.note("observation")
+        text = result.render()
+        assert "exp" in text and "inner" in text and "observation" in text
+
+    def test_table_lookup(self):
+        result = ExperimentResult("exp", "Title")
+        result.add_table(Table("inner", ("x",)))
+        assert result.table("inner").title == "inner"
+        with pytest.raises(KeyError):
+            result.table("nope")

@@ -1,0 +1,39 @@
+"""Runner plumbing: CLI args, run_all, error paths."""
+
+import pytest
+
+from repro.harness.runner import EXPERIMENTS, main, run_all, run_experiment
+
+
+def test_main_selected_experiment(capsys):
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+
+
+def test_main_quick_flag(capsys):
+    assert main(["fig7", "--quick"]) == 0
+    assert "fig7" in capsys.readouterr().out
+
+
+def test_main_unknown_experiment():
+    with pytest.raises(KeyError):
+        main(["fig99"])
+
+
+def test_run_experiment_returns_result():
+    result = run_experiment("table1")
+    assert result.experiment_id == "table1"
+    assert result.tables
+
+
+def test_run_all_quick_covers_registry():
+    results = run_all(quick=True)
+    assert {r.experiment_id for r in results} == set(EXPERIMENTS)
+
+
+def test_every_experiment_renders_nonempty():
+    for eid in ("table1", "table2", "fig7"):
+        text = run_experiment(eid).render()
+        assert eid in text
+        assert len(text) > 100

@@ -1,0 +1,29 @@
+"""Sparsity extension experiment shapes."""
+
+import pytest
+
+from repro.harness.experiments import sparsity
+
+
+@pytest.fixture(scope="module")
+def result():
+    return sparsity.run()
+
+
+def test_speedup_near_ideal(result):
+    table = result.table("Kept-position sweep (3x3 layer)")
+    for row in table.rows:
+        keep, density, cycles, speedup, ideal = row
+        assert 0.7 * ideal <= speedup <= ideal * 1.02
+
+
+def test_vgg_end_to_end_speedup(result):
+    table = result.table("VGG16 at 5/9 positions per layer (batch 8)")
+    speedup = table.rows[1][2]
+    assert 1.4 <= speedup <= 1.8  # 5/9 density -> ~1.7x
+
+
+def test_registered():
+    from repro.harness.runner import EXPERIMENTS
+
+    assert "sparsity" in EXPERIMENTS

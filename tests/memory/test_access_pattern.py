@@ -1,0 +1,103 @@
+"""Tile-fill address traces: HWC-vs-CHW structure (Fig 7 machinery)."""
+
+import pytest
+
+from repro.core import ConvSpec, decompose
+from repro.core.layouts import Layout
+from repro.memory import (
+    HBMModel,
+    analytic_fill_stats,
+    compare_layout_fill,
+    fill_stats,
+    tile_fill_addresses,
+)
+
+
+@pytest.fixture
+def spec():
+    return ConvSpec(n=1, c_in=8, h_in=16, w_in=16, c_out=4,
+                    h_filter=3, w_filter=3, stride=1, padding=0)
+
+
+@pytest.fixture
+def tile(spec):
+    return decompose(spec)[0]
+
+
+class TestTraces:
+    def test_trace_length_counts_taps(self, spec, tile):
+        addresses = tile_fill_addresses(spec, tile, Layout.NHWC)
+        assert len(addresses) == spec.h_out * spec.w_out * spec.c_in
+
+    def test_padding_taps_skip_dram(self):
+        spec = ConvSpec(n=1, c_in=2, h_in=5, w_in=5, c_out=2,
+                        h_filter=3, w_filter=3, stride=1, padding=1)
+        corner = decompose(spec)[0]  # reads the top-left halo
+        addresses = tile_fill_addresses(spec, corner, Layout.NHWC)
+        assert len(addresses) < spec.h_out * spec.w_out * spec.c_in
+
+    def test_addresses_unique_within_tile(self, spec, tile):
+        addresses = tile_fill_addresses(spec, tile, Layout.NCHW)
+        assert len(set(addresses)) == len(addresses)
+
+    def test_max_rows_truncates(self, spec, tile):
+        full = tile_fill_addresses(spec, tile, Layout.NHWC)
+        partial = tile_fill_addresses(spec, tile, Layout.NHWC, max_rows=2)
+        assert len(partial) == 2 * spec.w_out * spec.c_in < len(full)
+
+
+class TestRunStructure:
+    def test_hwc_coalesces_better_than_chw(self, spec, tile):
+        hwc = fill_stats(spec, tile, Layout.NHWC)
+        chw = fill_stats(spec, tile, Layout.NCHW)
+        assert hwc.bytes == chw.bytes
+        assert hwc.runs < chw.runs
+
+    def test_hwc_stride1_row_runs(self, spec, tile):
+        """At stride 1 a whole tile row coalesces into one run per IFMap row."""
+        stats = fill_stats(spec, tile, Layout.NHWC)
+        assert stats.runs == spec.h_out  # one run per tile row
+
+    def test_chw_runs_per_channel(self, spec, tile):
+        stats = fill_stats(spec, tile, Layout.NCHW)
+        assert stats.runs == spec.h_out * spec.c_in
+
+    def test_stride_fragments_both(self, spec):
+        strided = spec.with_stride(2)
+        tile = decompose(strided)[0]
+        hwc = fill_stats(strided, tile, Layout.NHWC)
+        # each tap is its own run at stride 2
+        assert hwc.runs == strided.h_out * strided.w_out
+
+
+class TestAnalyticStats:
+    @pytest.mark.parametrize("stride", [1, 2])
+    @pytest.mark.parametrize("layout", [Layout.NHWC, Layout.NCHW])
+    def test_analytic_matches_trace_for_interior_tile(self, stride, layout):
+        """The closed form agrees with the exact trace when no padding halo
+        intervenes."""
+        spec = ConvSpec(n=1, c_in=4, h_in=11, w_in=11, c_out=2,
+                        h_filter=3, w_filter=3, stride=stride, padding=0)
+        tile = decompose(spec)[4]
+        exact = fill_stats(spec, tile, layout)
+        analytic = analytic_fill_stats(spec, layout)
+        assert analytic.bytes == exact.bytes
+        assert analytic.runs == pytest.approx(exact.runs, rel=0.25)
+
+    def test_analytic_rejects_bad_layout(self, spec):
+        with pytest.raises(ValueError):
+            analytic_fill_stats(spec, "bogus")
+
+
+class TestComparePricing:
+    def test_hwc_cheaper_cycles(self, spec, tile):
+        outcome = compare_layout_fill(spec, tile, HBMModel())
+        assert outcome[Layout.NHWC].cycles <= outcome[Layout.NCHW].cycles
+        assert outcome[Layout.NHWC].effective_bandwidth_gbps >= (
+            outcome[Layout.NCHW].effective_bandwidth_gbps
+        )
+
+    def test_mean_run_bytes_reported(self, spec, tile):
+        outcome = compare_layout_fill(spec, tile, HBMModel())
+        hwc = outcome[Layout.NHWC]
+        assert hwc.mean_run_bytes == pytest.approx(hwc.stats.mean_run_bytes)

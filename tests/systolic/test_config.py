@@ -1,0 +1,65 @@
+"""TPUConfig invariants and derived quantities (Tbl. II)."""
+
+import dataclasses
+
+import pytest
+
+from repro.systolic import TPU_V2, TPUConfig
+
+
+def test_table2_defaults():
+    assert TPU_V2.array_rows == 128 and TPU_V2.array_cols == 128
+    assert TPU_V2.clock_ghz == 0.7
+    assert TPU_V2.unified_sram_bytes == 32 * 1024 * 1024
+    assert TPU_V2.num_vector_memories == 128
+    assert TPU_V2.sram_word_elems == 8 and TPU_V2.sram_elem_bytes == 4
+    assert TPU_V2.hbm.peak_bandwidth_gbps == 700.0
+    assert TPU_V2.vector_alus == 256
+
+
+def test_peak_numbers():
+    assert TPU_V2.peak_macs_per_cycle == 128 * 128
+    # 2 * 128^2 * 0.7e9 = 22.9 TFLOPS
+    assert TPU_V2.peak_tflops == pytest.approx(22.94, rel=0.01)
+
+
+def test_word_bytes():
+    assert TPU_V2.sram_word_bytes == 32
+
+
+def test_per_memory_capacity():
+    assert TPU_V2.per_memory_bytes == 256 * 1024
+
+
+def test_with_array_keeps_memory_row_coupling():
+    small = TPU_V2.with_array(32)
+    assert small.array_rows == small.array_cols == small.num_vector_memories == 32
+
+
+def test_with_word_elems():
+    assert TPU_V2.with_word_elems(4).sram_word_elems == 4
+
+
+def test_memory_row_coupling_enforced():
+    with pytest.raises(ValueError):
+        TPUConfig(array_rows=128, num_vector_memories=64)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("array_rows", 0),
+        ("clock_ghz", 0),
+        ("sram_word_elems", 0),
+        ("unified_sram_bytes", 0),
+        ("compute_elem_bytes", 0),
+    ],
+)
+def test_invalid_fields(field, value):
+    with pytest.raises(ValueError):
+        dataclasses.replace(TPU_V2, **{field: value})
+
+
+def test_describe_mentions_key_facts():
+    text = TPU_V2.describe()
+    assert "128x128" in text and "700" in text

@@ -1,0 +1,98 @@
+"""The DMA fill engine: pricing structure of IFMap/weight/OFMap movement."""
+
+import pytest
+
+from repro.core import ConvSpec
+from repro.core.layouts import Layout
+from repro.systolic import FillEngine, TPU_V2
+
+
+@pytest.fixture
+def engine():
+    return FillEngine(TPU_V2)
+
+
+@pytest.fixture
+def spec():
+    return ConvSpec(n=8, c_in=64, h_in=28, w_in=28, c_out=64,
+                    h_filter=3, w_filter=3, stride=1, padding=1)
+
+
+class TestIFMapFill:
+    def test_scales_with_rows(self, engine, spec):
+        small = engine.ifmap_tile_fill_cycles(spec, rows=1000, group_size=1)
+        large = engine.ifmap_tile_fill_cycles(spec, rows=4000, group_size=1)
+        assert large > 3 * small
+
+    def test_duplication_costs(self, engine, spec):
+        g1 = engine.ifmap_tile_fill_cycles(spec, rows=4000, group_size=1)
+        g3 = engine.ifmap_tile_fill_cycles(spec, rows=4000, group_size=3)
+        assert g3 > 2.5 * g1
+
+    def test_hwc_cheaper_than_chw(self, engine, spec):
+        hwc = engine.ifmap_tile_fill_cycles(spec, 4000, 1, layout=Layout.NHWC)
+        chw = engine.ifmap_tile_fill_cycles(spec, 4000, 1, layout=Layout.NCHW)
+        assert hwc <= chw
+
+    def test_stride_shrinks_fill(self, engine, spec):
+        """Channel-first's key property: fewer output rows -> smaller fill.
+        Per-tile payload is proportional to output size, so at stride 2 the
+        per-output-byte cost stays in the same ballpark."""
+        s1_rows = spec.lowered_rows()
+        strided = spec.with_stride(2)
+        s2_rows = strided.lowered_rows()
+        s1 = engine.ifmap_tile_fill_cycles(spec, s1_rows, 1)
+        s2 = engine.ifmap_tile_fill_cycles(strided, s2_rows, 1)
+        assert s2 < s1
+        # per-row cost within 3x (fragmentation at stride, but batch packing
+        # keeps runs coarse)
+        assert s2 / s2_rows < 3 * (s1 / s1_rows)
+
+    def test_bad_layout_rejected(self, engine, spec):
+        with pytest.raises(ValueError):
+            engine.ifmap_tile_fill_cycles(spec, 100, 1, layout="bogus")
+
+    def test_positive_args(self, engine, spec):
+        with pytest.raises(ValueError):
+            engine.ifmap_tile_fill_cycles(spec, 0, 1)
+        with pytest.raises(ValueError):
+            engine.ifmap_tile_fill_cycles(spec, 10, 0)
+
+
+class TestSlidingWindowFill:
+    def test_does_not_shrink_with_stride(self, engine, spec):
+        """The channel-last asymmetry (Fig 3): staging the window footprint
+        for the same number of output rows costs MORE per output at higher
+        stride (the footprint is input-sized)."""
+        rows = 2 * spec.w_out
+        s1 = engine.sliding_window_fill_cycles(spec, rows)
+        strided = spec.with_stride(2)
+        s2 = engine.sliding_window_fill_cycles(strided, 2 * strided.w_out)
+        # same number of output rows staged; strided footprint is larger
+        assert s2 >= s1 * 0.9
+
+    def test_positive_rows(self, engine, spec):
+        with pytest.raises(ValueError):
+            engine.sliding_window_fill_cycles(spec, 0)
+
+
+class TestWeightsAndOFMap:
+    def test_weight_fill_linear(self, engine):
+        small = engine.weight_fill_cycles(64, 64)
+        large = engine.weight_fill_cycles(128, 128)
+        assert large > small
+
+    def test_ofmap_drain_linear(self, engine):
+        assert engine.ofmap_drain_cycles(2000, 128) > engine.ofmap_drain_cycles(1000, 128)
+
+    def test_gemm_a_panel(self, engine):
+        cycles = engine.gemm_a_fill_cycles(1000, 128)
+        payload = 1000 * 128 * TPU_V2.compute_elem_bytes
+        ideal = payload / TPU_V2.hbm.bytes_per_cycle
+        assert ideal <= cycles < 2 * ideal  # near-streaming
+
+    def test_validation(self, engine):
+        for method in (engine.weight_fill_cycles, engine.ofmap_drain_cycles,
+                       engine.gemm_a_fill_cycles):
+            with pytest.raises(ValueError):
+                method(0, 10)

@@ -1,0 +1,58 @@
+"""The second-systolic-array (TPU-v3) model."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ConvSpec
+from repro.systolic import TPU_V2, TPUSim, port_budget_allows, simulate_conv_dual_mxu
+
+
+@pytest.fixture(scope="module")
+def layer():
+    return ConvSpec(n=8, c_in=256, h_in=14, w_in=14, c_out=256,
+                    h_filter=3, w_filter=3, padding=1)
+
+
+class TestPortBudget:
+    def test_word8_feeds_up_to_4(self):
+        for arrays, feasible in ((1, True), (2, True), (4, True), (5, False)):
+            assert port_budget_allows(arrays, TPU_V2) == feasible
+
+    def test_word2_feeds_exactly_one(self):
+        config = TPU_V2.with_word_elems(2)
+        assert port_budget_allows(1, config)
+        assert not port_budget_allows(2, config)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            port_budget_allows(0)
+
+
+class TestDualMXU:
+    def test_near_2x_on_compute_bound(self, layer):
+        one = TPUSim().simulate_conv(layer).cycles
+        two = simulate_conv_dual_mxu(layer, arrays=2).cycles
+        assert 1.7 < one / two <= 2.0
+
+    def test_single_array_matches_simulator(self, layer):
+        base = TPUSim().simulate_conv(layer).cycles
+        one = simulate_conv_dual_mxu(layer, arrays=1).cycles
+        assert one == pytest.approx(base, rel=0.01)
+
+    def test_starved_bandwidth_kills_scaling(self, layer):
+        starved = dataclasses.replace(
+            TPU_V2, hbm=dataclasses.replace(TPU_V2.hbm, peak_bandwidth_gbps=100.0)
+        )
+        full = simulate_conv_dual_mxu(layer, arrays=2).cycles
+        slow = simulate_conv_dual_mxu(layer, arrays=2, config=starved).cycles
+        assert slow > 1.5 * full
+
+    def test_infeasible_config_rejected(self, layer):
+        with pytest.raises(ValueError, match="cannot feed"):
+            simulate_conv_dual_mxu(layer, arrays=2, config=TPU_V2.with_word_elems(2))
+
+    def test_utilization_counts_all_arrays(self, layer):
+        result = simulate_conv_dual_mxu(layer, arrays=2)
+        assert 0 < result.utilization <= 1
+        assert result.macs == layer.macs

@@ -1,0 +1,49 @@
+"""Explicit im2col on the TPU (the SCALE-Sim assumption)."""
+
+import pytest
+
+from repro.core import ConvSpec
+from repro.systolic import TPU_V2, TPUSim, simulate_conv_explicit_tpu
+
+
+@pytest.fixture
+def layer():
+    return ConvSpec(n=8, c_in=128, h_in=28, w_in=28, c_out=128,
+                    h_filter=3, w_filter=3, stride=1, padding=1)
+
+
+def test_explicit_slower_than_implicit(layer):
+    """The naive method always loses: transform + lowered-matrix streaming."""
+    implicit = TPUSim().simulate_conv(layer).cycles
+    explicit = simulate_conv_explicit_tpu(layer)
+    assert explicit.cycles > implicit
+
+
+def test_transform_is_substantial(layer):
+    explicit = simulate_conv_explicit_tpu(layer)
+    assert explicit.transform_cycles > 0.05 * explicit.gemm.cycles
+
+
+def test_workspace_is_lowered_matrix(layer):
+    explicit = simulate_conv_explicit_tpu(layer)
+    assert explicit.workspace_bytes == layer.lowered_bytes(TPU_V2.compute_elem_bytes)
+    # ~9x the IFMap for a padded 3x3
+    assert explicit.workspace_bytes > 6 * layer.ifmap_bytes(TPU_V2.compute_elem_bytes)
+
+
+def test_tflops_accounting(layer):
+    explicit = simulate_conv_explicit_tpu(layer)
+    tflops = explicit.tflops(TPU_V2.clock_ghz, layer.macs)
+    assert 0 < tflops < TPU_V2.peak_tflops
+
+
+def test_gap_widens_with_filter_size():
+    """Bigger filters blow up the lowered matrix; the explicit path pays."""
+    ratios = []
+    for f in (3, 5):
+        layer = ConvSpec(n=8, c_in=64, h_in=28, w_in=28, c_out=64,
+                         h_filter=f, w_filter=f, padding=f // 2)
+        implicit = TPUSim().simulate_conv(layer).cycles
+        explicit = simulate_conv_explicit_tpu(layer).cycles
+        ratios.append(explicit / implicit)
+    assert ratios[1] > ratios[0]

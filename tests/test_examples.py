@@ -1,0 +1,40 @@
+"""Smoke tests: every example script runs to completion as a subprocess."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+def _run(script, *args):
+    return subprocess.run(
+        [sys.executable, str(script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_examples_directory_populated():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "stride_sweep.py", "design_space.py",
+            "end_to_end_network.py", "training_step.py"} <= names
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = _run(script)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip()
+
+
+def test_end_to_end_accepts_network_argument():
+    script = next(p for p in EXAMPLES if p.name == "end_to_end_network.py")
+    result = _run(script, "AlexNet", "4")
+    assert result.returncode == 0, result.stderr
+    assert "AlexNet" in result.stdout

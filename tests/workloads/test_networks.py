@@ -1,0 +1,94 @@
+"""Network layer tables: shape chaining, FLOP totals, registry."""
+
+import pytest
+
+from repro.workloads import NETWORKS, network, network_names
+
+
+#: Published conv-only GFLOPs per image (2 FLOPs/MAC), loose bounds.
+EXPECTED_GFLOPS = {
+    "AlexNet": (1.0, 3.0),  # ungrouped variant
+    "VGG16": (28.0, 33.0),
+    "ResNet": (6.5, 9.0),
+    "GoogleNet": (2.5, 4.0),
+    "DenseNet": (4.5, 7.0),
+    "YOLO": (25.0, 34.0),
+    "ZFNet": (1.5, 3.5),
+}
+
+
+def test_registry_has_seven_networks():
+    assert len(NETWORKS) == 7
+    assert set(network_names()) == set(EXPECTED_GFLOPS)
+
+
+@pytest.mark.parametrize("name", list(EXPECTED_GFLOPS))
+def test_flop_totals_match_published(name):
+    layers = network(name, batch=1)
+    gflops = sum(2 * layer.macs for layer in layers) / 1e9
+    low, high = EXPECTED_GFLOPS[name]
+    assert low <= gflops <= high, f"{name}: {gflops:.2f} GFLOPs outside [{low}, {high}]"
+
+
+@pytest.mark.parametrize("name", list(EXPECTED_GFLOPS))
+def test_batch_scales_macs(name):
+    one = sum(l.macs for l in network(name, 1))
+    eight = sum(l.macs for l in network(name, 8))
+    assert eight == 8 * one
+
+
+@pytest.mark.parametrize("name", list(EXPECTED_GFLOPS))
+def test_layer_names_unique_and_prefixed(name):
+    layers = network(name, 1)
+    names = [l.name for l in layers]
+    assert len(set(names)) == len(names)
+    assert all(n.lower().startswith(name.lower()[:4]) or "." in n for n in names)
+
+
+def test_case_insensitive_lookup():
+    assert network("resnet", 1) == network("ResNet", 1)
+
+
+def test_unknown_network():
+    with pytest.raises(KeyError):
+        network("LeNet")
+
+
+class TestSpecificShapes:
+    def test_resnet_conv1(self):
+        conv1 = network("ResNet", 1)[0]
+        assert conv1.c_in == 3 and conv1.h_filter == 7 and conv1.stride == 2
+        assert conv1.h_out == 112
+
+    def test_resnet_layer_count(self):
+        # conv1 + 16 blocks x 3 convs + 4 projections = 53
+        assert len(network("ResNet", 1)) == 53
+
+    def test_resnet_v15_stride_on_3x3(self):
+        layers = {l.name: l for l in network("ResNet", 1)}
+        assert layers["resnet50.s3b1.conv2"].stride == 2
+        assert layers["resnet50.s3b1.conv1"].stride == 1
+
+    def test_vgg_all_3x3_stride_1(self):
+        for layer in network("VGG16", 1):
+            assert layer.h_filter == layer.w_filter == 3
+            assert layer.stride == 1
+
+    def test_densenet_channel_growth(self):
+        layers = network("DenseNet", 1)
+        first_block = [l for l in layers if l.name.startswith("densenet121.b1l")]
+        bottlenecks = [l for l in first_block if "bottleneck" in l.name]
+        channels = [l.c_in for l in bottlenecks]
+        assert channels == [64 + 32 * i for i in range(6)]
+
+    def test_yolo_input_resolution(self):
+        assert network("YOLO", 1)[0].h_in == 416
+
+    def test_googlenet_inception_channel_chain(self):
+        layers = {l.name: l for l in network("GoogleNet", 1)}
+        # inc3b consumes 3a's concatenated output: 64+128+32+32 = 256
+        assert layers["googlenet.inc3b.1x1"].c_in == 256
+
+    def test_strided_layers_exist(self):
+        strided = [l for name in network_names() for l in network(name, 1) if l.stride > 1]
+        assert len(strided) >= 6

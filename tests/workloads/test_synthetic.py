@@ -1,0 +1,83 @@
+"""Synthetic microbenchmark definitions."""
+
+import pytest
+
+from repro.core import tpu_multi_tile_policy
+from repro.workloads import (
+    conv_validation_layers,
+    fig4_layers,
+    fig14_layer,
+    gemm_sweep,
+    memory_bound_layers,
+    small_channel_sweep,
+    strided_layers,
+)
+
+
+class TestGemmSweep:
+    def test_range_covers_paper(self):
+        shapes = gemm_sweep()
+        dims = [d for s in shapes for d in (s.m, s.n, s.k)]
+        assert min(dims) == 256 and max(dims) == 8192
+
+    def test_no_duplicates(self):
+        shapes = gemm_sweep()
+        keys = {(s.m, s.n, s.k) for s in shapes}
+        assert len(keys) == len(shapes)
+
+    def test_includes_square_diagonal(self):
+        shapes = {(s.m, s.n, s.k) for s in gemm_sweep()}
+        for size in (256, 1024, 8192):
+            assert (size, size, size) in shapes
+
+
+class TestConvValidationLayers:
+    def test_no_multi_tile_triggered(self):
+        """Fig 13b uses layers that do NOT trigger the Sec. IV-B
+        optimisation: policy must be 1 everywhere."""
+        for layer in conv_validation_layers():
+            assert tpu_multi_tile_policy(layer) == 1
+
+    def test_batch_parameter(self):
+        assert all(l.n == 4 for l in conv_validation_layers(batch=4))
+
+
+class TestFig4Layers:
+    def test_labels_encode_geometry(self):
+        for layer in fig4_layers():
+            w_i, c_i, c_o, w_f = map(int, layer.name.split("-"))
+            assert (layer.w_in, layer.c_in, layer.c_out, layer.w_filter) == (w_i, c_i, c_o, w_f)
+
+    def test_strides_sweepable(self):
+        for layer in fig4_layers():
+            for stride in (2, 4):
+                layer.with_stride(stride)  # must not raise
+
+
+class TestFig14:
+    def test_study_layer_matches_paper(self):
+        layer = fig14_layer()
+        assert (layer.n, layer.c_in, layer.w_in, layer.c_out, layer.w_filter) == (
+            8, 8, 128, 128, 3,
+        )
+        assert tpu_multi_tile_policy(layer) == 3
+
+    def test_sweep_engages_policy_at_various_strengths(self):
+        policies = {tpu_multi_tile_policy(l) for l in small_channel_sweep()}
+        assert len(policies) >= 3  # different channel/filter combos differ
+
+
+class TestFig18Selections:
+    def test_strided_layers_all_strided_spatial(self):
+        for layer in strided_layers():
+            assert layer.stride > 1
+            assert not layer.is_pointwise()
+
+    def test_strided_layers_from_multiple_networks(self):
+        prefixes = {l.name.split(".")[0] for l in strided_layers()}
+        assert len(prefixes) >= 4
+
+    def test_memory_bound_layers_nonempty(self):
+        layers = memory_bound_layers()
+        assert len(layers) >= 5
+        assert all(l.n == 8 for l in layers)
