@@ -1,4 +1,6 @@
-.PHONY: install test bench experiments export examples api-doc all
+.PHONY: install test bench bench-figures profile experiments export examples api-doc all
+
+export PYTHONPATH := src
 
 install:
 	pip install -e .[dev]
@@ -7,7 +9,16 @@ test:
 	pytest tests/
 
 bench:
+	python benchmarks/bench_perf.py
+
+bench-figures:
 	pytest benchmarks/ --benchmark-only
+
+profile:
+	python -c "import cProfile, pstats, sys; \
+	from repro.harness.runner import run_all; \
+	cProfile.run('run_all()', '/tmp/repro_harness.prof'); \
+	pstats.Stats('/tmp/repro_harness.prof').sort_stats('cumulative').print_stats(25)"
 
 experiments:
 	python -m repro.harness.runner

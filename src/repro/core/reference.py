@@ -12,7 +12,13 @@ import numpy as np
 
 from .conv_spec import ConvSpec
 
-__all__ = ["direct_conv2d", "gemm", "pad_ifmap", "random_conv_operands"]
+__all__ = [
+    "direct_conv2d",
+    "gemm",
+    "pad_ifmap",
+    "random_conv_operands",
+    "random_conv_weights",
+]
 
 
 def gemm(a: np.ndarray, b: np.ndarray, accumulate_into: np.ndarray = None) -> np.ndarray:
@@ -85,3 +91,15 @@ def random_conv_operands(spec: ConvSpec, seed: int = 0, dtype=np.float32):
     ifmap = rng.integers(-4, 5, size=spec.ifmap_shape).astype(dtype)
     weights = rng.integers(-4, 5, size=spec.filter_shape).astype(dtype)
     return ifmap, weights
+
+
+def random_conv_weights(spec: ConvSpec, seed: int = 0, dtype=np.float32) -> np.ndarray:
+    """Exactly ``random_conv_operands(spec, seed)[1]``, skipping the IFMap.
+
+    The IFMap's integer draw still happens (the generator's stream position
+    determines the weight values), but the large float conversion/copy is
+    avoided — used by weight-only consumers like the sparsity study.
+    """
+    rng = np.random.default_rng(seed)
+    rng.integers(-4, 5, size=spec.ifmap_shape)  # consume the IFMap draw
+    return rng.integers(-4, 5, size=spec.filter_shape).astype(dtype)

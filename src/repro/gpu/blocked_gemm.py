@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..core.conv_spec import GemmShape
+from ..perf.cache import memoized_model
 from .config import GPUConfig
 from .shared_memory import (
     gemm_a_traffic_bytes,
@@ -91,6 +92,7 @@ def kernel_time(
     )
 
 
+@memoized_model
 def gemm_kernel_time(shape: GemmShape, config: GPUConfig, name: str = "gemm") -> KernelTime:
     """A plain DRAM-resident GEMM — the "GEMM-only" reference of Fig 4a and
     the compute half of the explicit-im2col path."""

@@ -19,6 +19,7 @@ from typing import Optional
 
 from ..core.conv_spec import ConvSpec
 from ..core.reordering import greedy_reuse_order, order_reuse_fraction
+from ..perf.cache import memoized_model
 from .blocked_gemm import KernelTime, kernel_time
 from .config import GPUConfig
 from .shared_memory import (
@@ -51,6 +52,7 @@ class ChannelFirstGPUResult:
         return self.kernel.tflops
 
 
+@memoized_model
 def channel_first_conv_time(
     spec: ConvSpec,
     config: GPUConfig,

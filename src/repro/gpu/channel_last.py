@@ -21,6 +21,7 @@ Timing consequences modelled here:
 from __future__ import annotations
 
 from ..core.conv_spec import ConvSpec
+from ..perf.cache import memoized_model
 from .blocked_gemm import KernelTime, kernel_time
 from .config import GPUConfig
 from .shared_memory import (
@@ -51,6 +52,7 @@ def stride_conflict_factor(stride: int, penalty: float = STRIDE_CONFLICT_PENALTY
     return 1.0 + penalty * (stride - 1)
 
 
+@memoized_model
 def channel_last_conv_time(
     spec: ConvSpec, config: GPUConfig, addressing_overhead: float = ADDRESSING_OVERHEAD
 ) -> KernelTime:

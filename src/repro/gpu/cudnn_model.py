@@ -17,6 +17,7 @@ Everything downstream treats :func:`cudnn_conv_time` as "the measurement".
 from __future__ import annotations
 
 from ..core.conv_spec import ConvSpec
+from ..perf.cache import memoized_model
 from ..util import deterministic_noise
 from .blocked_gemm import KernelTime
 from .channel_last import channel_last_conv_time
@@ -30,6 +31,7 @@ __all__ = ["cudnn_conv_time", "VENDOR_SPEEDUP"]
 VENDOR_SPEEDUP = 1.0
 
 
+@memoized_model
 def cudnn_conv_time(
     spec: ConvSpec,
     config: GPUConfig,

@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 
 from ..core.conv_spec import ConvSpec
+from ..perf.cache import memoized_model
 from .blocked_gemm import KernelTime, gemm_kernel_time, kernel_time
 from .config import GPUConfig
 
@@ -50,6 +51,7 @@ class ExplicitConvResult:
         return 2 * self.gemm.macs / self.seconds / 1e12
 
 
+@memoized_model
 def im2col_transform_time(spec: ConvSpec, config: GPUConfig) -> KernelTime:
     """The lowering kernel: read the IFMap (gathers hit cache for the
     duplicated taps, so DRAM sees each input element about once) and write
@@ -68,6 +70,7 @@ def im2col_transform_time(spec: ConvSpec, config: GPUConfig) -> KernelTime:
     )
 
 
+@memoized_model
 def explicit_conv_time(spec: ConvSpec, config: GPUConfig) -> ExplicitConvResult:
     """Full explicit-im2col conv: transform, then GEMM on the lowered matrix."""
     transform = im2col_transform_time(spec, config)

@@ -12,11 +12,9 @@ explicit-GEMM world where zero positions buy nothing.
 
 from __future__ import annotations
 
-import numpy as np
-
 from ...core.conv_spec import ConvSpec
-from ...core.reference import random_conv_operands
-from ...core.sparsity import prune_positions
+from ...core.reference import random_conv_weights
+from ...core.sparsity import PositionMask, prune_positions
 from ...systolic.simulator import TPUSim
 from ...systolic.sparse_schedule import simulate_conv_sparse
 from ...workloads.networks import vgg16
@@ -33,7 +31,7 @@ def run(quick: bool = False) -> ExperimentResult:
         "sparsity", "Position-structured sparsity via channel-first scheduling"
     )
     sim = TPUSim()
-    _, weights = random_conv_operands(STUDY_LAYER, seed=17)
+    weights = random_conv_weights(STUDY_LAYER, seed=17)
     dense = sim.simulate_conv(STUDY_LAYER)
 
     table = result.add_table(
@@ -62,9 +60,19 @@ def run(quick: bool = False) -> ExperimentResult:
         layers = layers[:4]
     dense_total = 0.0
     sparse_total = 0.0
+    # VGG16 repeats (shape, seed) combinations; their weights — and hence
+    # their pruned position sets — are identical, so generate/prune once per
+    # distinct combination.
+    kept_memo = {}
     for layer in layers:
-        _, w = random_conv_operands(layer, seed=layer.c_in)
-        _, mask = prune_positions(w, layer, keep=5)
+        gen_key = (layer.ifmap_shape, layer.filter_shape, layer.c_in)
+        kept = kept_memo.get(gen_key)
+        if kept is None:
+            w = random_conv_weights(layer, seed=layer.c_in)
+            _, mask = prune_positions(w, layer, keep=5)
+            kept = mask.kept
+            kept_memo[gen_key] = kept
+        mask = PositionMask(spec=layer, kept=kept)
         dense_total += sim.simulate_conv(layer).cycles
         sparse_total += simulate_conv_sparse(layer, mask).cycles
     table_net = result.add_table(

@@ -5,16 +5,21 @@ Usage::
     python -m repro.harness.runner            # run everything
     python -m repro.harness.runner fig4 fig13 # run selected experiments
     python -m repro.harness.runner --quick    # reduced workloads (CI-sized)
+    python -m repro.harness.runner --jobs 4   # fan experiments out over processes
 
 Each experiment module exposes ``run(quick=False) -> ExperimentResult``; the
 registry below is the complete per-experiment index from DESIGN.md.
+
+``--jobs N`` runs experiments in a ``ProcessPoolExecutor``; results are
+collected and printed in submission order, so the report is byte-identical
+to a serial run (each experiment is deterministic and self-contained).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from .experiments import (
     ablations,
@@ -36,7 +41,7 @@ from .experiments import (
 )
 from .report import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all", "main"]
+__all__ = ["EXPERIMENTS", "run_experiment", "run_many", "run_all", "main"]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1.run,
@@ -69,14 +74,42 @@ def run_experiment(experiment_id: str, quick: bool = False) -> ExperimentResult:
     return runner(quick=quick)
 
 
-def run_all(quick: bool = False) -> List[ExperimentResult]:
-    return [run_experiment(eid, quick=quick) for eid in EXPERIMENTS]
+def run_many(
+    ids: List[str], quick: bool = False, jobs: int = 1
+) -> List[ExperimentResult]:
+    """Run several experiments, optionally across worker processes.
+
+    Results always come back in the order of ``ids`` regardless of which
+    worker finishes first, so downstream rendering/export is deterministic.
+    """
+    if jobs <= 1:
+        return [run_experiment(eid, quick=quick) for eid in ids]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(run_experiment, eid, quick) for eid in ids]
+        return [future.result() for future in futures]
 
 
-def main(argv: List[str] = None) -> int:
+def run_all(quick: bool = False, jobs: int = 1) -> List[ExperimentResult]:
+    return run_many(list(EXPERIMENTS), quick=quick, jobs=jobs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
     parser.add_argument("--quick", action="store_true", help="reduced workloads")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for running experiments (default: serial)",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print simulation-cache hit/miss statistics after the run",
+    )
     parser.add_argument(
         "--export-dir",
         default=None,
@@ -84,12 +117,23 @@ def main(argv: List[str] = None) -> int:
     )
     args = parser.parse_args(argv)
     ids = args.experiments or list(EXPERIMENTS)
-    results = []
     for eid in ids:
-        result = run_experiment(eid, quick=args.quick)
-        results.append(result)
+        if eid not in EXPERIMENTS:  # fail before spawning any worker
+            raise KeyError(
+                f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}"
+            )
+    results = run_many(ids, quick=args.quick, jobs=args.jobs)
+    for result in results:
         print(result.render())
         print()
+    if args.cache_stats:
+        from ..perf.cache import cache_stats
+
+        stats = cache_stats()
+        print(
+            f"simulation cache: {stats.hits} hits / {stats.misses} misses "
+            f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries)"
+        )
     if args.export_dir:
         from .export import write_results
 

@@ -21,11 +21,13 @@ to :class:`~repro.memory.dram.TransferStats`, and
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+from typing import Dict
+
+import numpy as np
 
 from ..core.channel_first import DecomposedFilter
 from ..core.conv_spec import ConvSpec
-from ..core.layouts import Layout, dram_linear_address
+from ..core.layouts import Layout
 from .dram import HBMModel, TransferStats, run_length_stats
 
 __all__ = [
@@ -36,13 +38,28 @@ __all__ = [
 ]
 
 
+def _element_strides(layout: Layout, shape_nchw) -> Dict[str, int]:
+    """Per-axis element strides of a tensor laid out per ``layout``.
+
+    ``flatten_index`` computed as a Horner scheme is exactly
+    ``n*sN + c*sC + h*sH + w*sW`` with these strides.
+    """
+    extents = dict(zip("NCHW", shape_nchw))
+    strides: Dict[str, int] = {}
+    acc = 1
+    for axis in reversed(layout.value):
+        strides[axis] = acc
+        acc *= extents[axis]
+    return strides
+
+
 def tile_fill_addresses(
     spec: ConvSpec,
     tile: DecomposedFilter,
     layout: Layout,
     elem_bytes: int = 2,
     max_rows: int = None,
-) -> List[int]:
+) -> np.ndarray:
     """Byte addresses read from DRAM to fill one decomposed tile.
 
     Visits output pixels in raster order and, for each, all channels of the
@@ -54,22 +71,25 @@ def tile_fill_addresses(
     no DRAM traffic.  ``max_rows`` caps the number of output rows traced
     (address traces are O(tile size); experiments trace a representative
     slice and scale).
+
+    The trace is generated with integer array arithmetic (the address of
+    ``(n, c, y, x)`` is a dot product with the layout's element strides) and
+    returned as an ``int64`` array in exactly the raster-then-channels order
+    of the element-by-element walk.
     """
-    addresses: List[int] = []
     rows = spec.h_out if max_rows is None else min(max_rows, spec.h_out)
-    for n in range(spec.n):
-        for oy in range(rows):
-            for ox in range(spec.w_out):
-                y, x = spec.tap_coordinate(oy, ox, tile.r, tile.s)
-                if not (0 <= y < spec.h_in and 0 <= x < spec.w_in):
-                    continue  # padding: no DRAM access
-                for c in range(spec.c_in):
-                    addresses.append(
-                        dram_linear_address(
-                            layout, spec.ifmap_shape, n, c, y, x, elem_bytes
-                        )
-                    )
-    return addresses
+    y0, x0 = spec.tap_coordinate(0, 0, tile.r, tile.s)
+    y = y0 + np.arange(rows, dtype=np.int64) * spec.stride
+    x = x0 + np.arange(spec.w_out, dtype=np.int64) * spec.stride
+    valid = ((y >= 0) & (y < spec.h_in))[:, None] & ((x >= 0) & (x < spec.w_in))[None, :]
+    strides = _element_strides(layout, spec.ifmap_shape)
+    batch = np.arange(spec.n, dtype=np.int64) * strides["N"]
+    # (N, rows, W_O) base element offsets, masked to in-bounds taps in
+    # C-order = (batch, raster) order — the loop nest's visit order.
+    base = batch[:, None, None] + (y * strides["H"])[None, :, None] + (x * strides["W"])[None, None, :]
+    taps = base[np.broadcast_to(valid[None, :, :], base.shape)]
+    channels = np.arange(spec.c_in, dtype=np.int64) * strides["C"]
+    return ((taps[:, None] + channels[None, :]) * elem_bytes).ravel()
 
 
 def fill_stats(
@@ -85,7 +105,7 @@ def fill_stats(
     issues the tile's requests in address order (the standard optimisation;
     without it CHW would look even worse).
     """
-    addresses = sorted(
+    addresses = np.sort(
         tile_fill_addresses(spec, tile, layout, elem_bytes, max_rows=max_rows)
     )
     return run_length_stats(addresses, elem_bytes)

@@ -29,6 +29,8 @@ import dataclasses
 import math
 from typing import Iterable, List, Sequence, Tuple
 
+import numpy as np
+
 __all__ = ["HBMConfig", "HBMModel", "TransferStats", "run_length_stats"]
 
 
@@ -109,12 +111,10 @@ def run_length_stats(addresses: Sequence[int], access_bytes: int) -> TransferSta
     """
     if access_bytes <= 0:
         raise ValueError("access_bytes must be positive")
-    if not addresses:
+    if len(addresses) == 0:
         return TransferStats(bytes=0, runs=0)
-    runs = 1
-    for prev, cur in zip(addresses, addresses[1:]):
-        if cur != prev + access_bytes:
-            runs += 1
+    trace = np.asarray(addresses, dtype=np.int64)
+    runs = 1 + int(np.count_nonzero(np.diff(trace) != access_bytes))
     return TransferStats(bytes=len(addresses) * access_bytes, runs=runs)
 
 

@@ -1,0 +1,57 @@
+"""Performance layer: vectorized schedules + simulation memoization.
+
+Two orthogonal accelerations for the whole evaluation harness, both with a
+bit-exactness contract against the per-item reference paths:
+
+- :mod:`repro.perf.schedule_arrays` — struct-of-arrays schedules
+  (:class:`ScheduleArrays`) built and executed with NumPy instead of
+  per-tile Python objects;
+- :mod:`repro.perf.cache` — a process-wide memo for simulation results,
+  keyed by structural fingerprints of configs and problem specs.
+
+See DESIGN.md ("Performance architecture") for the invariants.
+"""
+
+from .cache import (
+    CacheStats,
+    SIM_CACHE,
+    SimulationCache,
+    cache_stats,
+    clear_cache,
+    config_key,
+    fingerprint,
+    memoized_model,
+    set_cache_enabled,
+    spec_key,
+)
+from .schedule_arrays import (
+    ScheduleArrays,
+    channel_first_schedule_arrays,
+    conv_schedule_arrays_from_groups,
+    execute_multi_array_schedule,
+    execute_schedule_arrays,
+    gemm_schedule_arrays,
+    pipeline_free_times,
+    schedule_construction_count,
+)
+
+__all__ = [
+    "CacheStats",
+    "SIM_CACHE",
+    "SimulationCache",
+    "cache_stats",
+    "clear_cache",
+    "config_key",
+    "fingerprint",
+    "memoized_model",
+    "set_cache_enabled",
+    "spec_key",
+    "ScheduleArrays",
+    "channel_first_schedule_arrays",
+    "conv_schedule_arrays_from_groups",
+    "execute_multi_array_schedule",
+    "execute_schedule_arrays",
+    "gemm_schedule_arrays",
+    "pipeline_free_times",
+    "schedule_construction_count",
+]

@@ -1,0 +1,176 @@
+"""Simulation memoization: fingerprinted keys + a process-wide cache.
+
+Every timing entry point is a pure function of plain frozen dataclasses
+(:class:`~repro.systolic.config.TPUConfig`, :class:`~repro.gpu.config.GPUConfig`,
+:class:`~repro.core.conv_spec.ConvSpec`, ...) and a few scalars, so results
+can be memoized under a structural fingerprint of the arguments.  The
+experiments re-price the same baselines figure after figure and networks
+repeat layers; the cache collapses all of that to one computation each.
+
+Invalidation rules (tested in ``tests/perf/test_cache.py``):
+
+- the fingerprint recurses into nested dataclasses field by field, so
+  changing **any** field of a config or spec — including nested HBM/SRAM
+  sub-configs — produces a different key;
+- :func:`spec_key` deliberately **excludes** ``ConvSpec.name``: timing is
+  name-independent, so renamed copies of a layer share one entry (callers
+  re-label the cached result).  The generic :func:`fingerprint` used for the
+  GPU models keeps the name, because the measurement stand-ins derive their
+  deterministic noise from ``spec.describe()``.
+
+Cached values are frozen dataclasses shared by reference; they must never be
+mutated by callers (use ``dataclasses.replace``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import functools
+from typing import Any, Callable, Tuple
+
+__all__ = [
+    "SimulationCache",
+    "CacheStats",
+    "SIM_CACHE",
+    "fingerprint",
+    "spec_key",
+    "config_key",
+    "memoized_model",
+    "cache_stats",
+    "clear_cache",
+    "set_cache_enabled",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of one cache (or the global one)."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class SimulationCache:
+    """A keyed result store with hit/miss accounting.
+
+    Unbounded by design: one entry per distinct (model, config, problem)
+    combination, each a small frozen dataclass — the whole harness fits in a
+    few thousand entries.
+    """
+
+    __slots__ = ("_store", "hits", "misses", "enabled")
+
+    def __init__(self, enabled: bool = True):
+        self._store: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self.enabled = enabled
+
+    def get_or_compute(self, key: Tuple, compute: Callable[[], Any]) -> Any:
+        if not self.enabled:
+            return compute()
+        try:
+            value = self._store[key]
+        except KeyError:
+            self.misses += 1
+            value = compute()
+            self._store[key] = value
+            return value
+        self.hits += 1
+        return value
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(hits=self.hits, misses=self.misses, entries=len(self._store))
+
+
+#: The process-wide cache every simulator entry point shares.
+SIM_CACHE = SimulationCache()
+
+
+def cache_stats() -> CacheStats:
+    """Hit/miss statistics of the global simulation cache."""
+    return SIM_CACHE.stats
+
+
+def clear_cache() -> None:
+    """Drop every cached result and reset the counters."""
+    SIM_CACHE.clear()
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Globally enable/disable memoization (results are recomputed when off)."""
+    SIM_CACHE.enabled = bool(enabled)
+
+
+def fingerprint(value: Any) -> Any:
+    """A hashable structural fingerprint of an argument.
+
+    Dataclasses become ``(TypeName, field fingerprints...)`` — recursing, so
+    nested configs contribute every field; enums use their value; sequences
+    become tuples.  Anything else must already be hashable (ints, floats,
+    strings, bools, None).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            fingerprint(getattr(value, f.name)) for f in dataclasses.fields(value)
+        )
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.value)
+    if isinstance(value, (tuple, list)):
+        return tuple(fingerprint(v) for v in value)
+    return value
+
+
+def spec_key(spec: Any) -> Tuple:
+    """Fingerprint of a ConvSpec with the ``name`` label excluded.
+
+    Cycle counts cannot depend on what a layer is called; excluding the name
+    lets every same-shape layer across networks and figures share one entry.
+    """
+    return (type(spec).__name__,) + tuple(
+        fingerprint(getattr(spec, f.name))
+        for f in dataclasses.fields(spec)
+        if f.name != "name"
+    )
+
+
+def config_key(config: Any) -> Tuple:
+    """Fingerprint of an accelerator config (all fields, nested included)."""
+    return fingerprint(config)
+
+
+def memoized_model(func: Callable) -> Callable:
+    """Memoize an analytic timing model through the global cache.
+
+    The key fingerprints every positional and keyword argument (names
+    included — GPU noise models hash ``spec.describe()``), plus the
+    function's qualified name so distinct models never collide.
+    """
+
+    @functools.wraps(func)
+    def wrapper(*args, **kwargs):
+        key = (
+            func.__module__,
+            func.__qualname__,
+            tuple(fingerprint(a) for a in args),
+            tuple(sorted((k, fingerprint(v)) for k, v in kwargs.items())),
+        )
+        return SIM_CACHE.get_or_compute(key, lambda: func(*args, **kwargs))
+
+    return wrapper

@@ -26,9 +26,10 @@ from __future__ import annotations
 import dataclasses
 
 from ..core.conv_spec import ConvSpec
+from ..perf.cache import SIM_CACHE, config_key, spec_key
+from ..perf import schedule_arrays as perf_schedules
 from .config import TPUConfig, TPU_V2
 from .dma import FillEngine
-from .scheduler import execute_schedule, gemm_schedule
 from .simulator import LayerResult
 
 __all__ = ["ExplicitTPUResult", "simulate_conv_explicit_tpu"]
@@ -70,21 +71,33 @@ def simulate_conv_explicit_tpu(
     spec: ConvSpec, config: TPUConfig = TPU_V2
 ) -> ExplicitTPUResult:
     """Price the explicit im2col conv on the TPU (transform + GEMM)."""
-    transform = _transform_cycles(spec, config)
-    items = gemm_schedule(spec.gemm_shape(), config, FillEngine(config))
-    outcome = execute_schedule(items)
-    gemm = LayerResult(
-        name=f"explicit-gemm:{spec.describe()}",
-        cycles=outcome.total_cycles,
-        tflops=2 * spec.macs * config.clock_ghz / outcome.total_cycles / 1e3,
-        utilization=spec.macs / (config.peak_macs_per_cycle * outcome.total_cycles),
-        compute_cycles=outcome.compute_cycles,
-        dma_cycles=outcome.dma_cycles,
-        exposed_dma_cycles=outcome.exposed_dma_cycles,
-        macs=spec.macs,
-    )
-    return ExplicitTPUResult(
-        transform_cycles=transform,
-        gemm=gemm,
-        workspace_bytes=spec.lowered_bytes(config.compute_elem_bytes),
-    )
+    name = f"explicit-gemm:{spec.describe()}"
+
+    def compute() -> ExplicitTPUResult:
+        transform = _transform_cycles(spec, config)
+        outcome = perf_schedules.execute_schedule_arrays(
+            perf_schedules.gemm_schedule_arrays(spec.gemm_shape(), config, FillEngine(config))
+        )
+        gemm = LayerResult(
+            name=name,
+            cycles=outcome.total_cycles,
+            tflops=2 * spec.macs * config.clock_ghz / outcome.total_cycles / 1e3,
+            utilization=spec.macs / (config.peak_macs_per_cycle * outcome.total_cycles),
+            compute_cycles=outcome.compute_cycles,
+            dma_cycles=outcome.dma_cycles,
+            exposed_dma_cycles=outcome.exposed_dma_cycles,
+            macs=spec.macs,
+        )
+        return ExplicitTPUResult(
+            transform_cycles=transform,
+            gemm=gemm,
+            workspace_bytes=spec.lowered_bytes(config.compute_elem_bytes),
+        )
+
+    key = ("tpu-explicit", config_key(config), spec_key(spec))
+    result = SIM_CACHE.get_or_compute(key, compute)
+    if result.gemm.name != name:
+        result = dataclasses.replace(
+            result, gemm=dataclasses.replace(result.gemm, name=name)
+        )
+    return result

@@ -31,9 +31,10 @@ import dataclasses
 from typing import List, Sequence
 
 from ..core.conv_spec import ConvSpec
+from ..perf.cache import SIM_CACHE, config_key, spec_key
+from ..perf import schedule_arrays as perf_schedules
 from .config import TPUConfig, TPU_V2
 from .dma import FillEngine
-from .scheduler import channel_first_schedule, execute_schedule
 from .simulator import LayerResult, NetworkResult, TPUSim
 
 __all__ = [
@@ -112,22 +113,37 @@ def _layer_cycles(
     output_resident: bool,
 ) -> LayerResult:
     """One layer with optionally-elided IFMap fills / OFMap drains."""
-    layer_engine = _ResidentInputEngine(config, engine.hbm) if input_resident else engine
-    items = channel_first_schedule(spec, config, layer_engine)
-    if output_resident:
-        items = [dataclasses.replace(item, drain_cycles=0.0) for item in items]
-    outcome = execute_schedule(items)
-    cycles = outcome.total_cycles
-    return LayerResult(
-        name=spec.describe(),
-        cycles=cycles,
-        tflops=2 * spec.macs * config.clock_ghz / cycles / 1e3,
-        utilization=spec.macs / (config.peak_macs_per_cycle * cycles),
-        compute_cycles=outcome.compute_cycles,
-        dma_cycles=outcome.dma_cycles,
-        exposed_dma_cycles=outcome.exposed_dma_cycles,
-        macs=spec.macs,
+    name = spec.describe()
+
+    def compute() -> LayerResult:
+        layer_engine = _ResidentInputEngine(config, engine.hbm) if input_resident else engine
+        schedule = perf_schedules.channel_first_schedule_arrays(spec, config, layer_engine)
+        if output_resident:
+            schedule = schedule.without_drains()
+        outcome = perf_schedules.execute_schedule_arrays(schedule)
+        cycles = outcome.total_cycles
+        return LayerResult(
+            name=name,
+            cycles=cycles,
+            tflops=2 * spec.macs * config.clock_ghz / cycles / 1e3,
+            utilization=spec.macs / (config.peak_macs_per_cycle * cycles),
+            compute_cycles=outcome.compute_cycles,
+            dma_cycles=outcome.dma_cycles,
+            exposed_dma_cycles=outcome.exposed_dma_cycles,
+            macs=spec.macs,
+        )
+
+    key = (
+        "tpu-resident",
+        config_key(config),
+        spec_key(spec),
+        bool(input_resident),
+        bool(output_resident),
     )
+    result = SIM_CACHE.get_or_compute(key, compute)
+    if result.name != name:
+        result = dataclasses.replace(result, name=name)
+    return result
 
 
 def residency_traffic_saved_bytes(

@@ -173,6 +173,7 @@ def channel_first_schedule(
     engine: Optional[FillEngine] = None,
     group_size: Optional[int] = None,
     layout: Layout = Layout.NHWC,
+    debug_labels: bool = False,
 ) -> List[WorkItem]:
     """Work items for the channel-first implicit im2col conv (Sec. IV).
 
@@ -181,6 +182,11 @@ def channel_first_schedule(
     slab is filled once per (block, group); stationary weights are re-staged
     per (group, K-chunk, N-chunk); the OFMap block drains once per
     (block, N-chunk) after its last accumulating group.
+
+    ``debug_labels=True`` attaches per-item position labels; the timing path
+    never reads them, so they stay off by default.  Timing runs use the
+    vectorized twin (:mod:`repro.perf.schedule_arrays`); this per-item
+    builder is the reference the equivalence tests gate against.
     """
     engine = engine if engine is not None else FillEngine(config)
     if group_size is None:
@@ -214,9 +220,7 @@ def channel_first_schedule(
                     )
                     items.append(
                         WorkItem(
-                            label=(
-                                f"m{m0}:g{gi}:k{k0}:n{n0}"
-                            ),
+                            label=f"m{m0}:g{gi}:k{k0}:n{n0}" if debug_labels else "",
                             gemm_cycles=occupancy,
                             fill_cycles=fill,
                             drain_cycles=drain,
@@ -227,12 +231,17 @@ def channel_first_schedule(
 
 
 def gemm_schedule(
-    shape: GemmShape, config: TPUConfig, engine: Optional[FillEngine] = None
+    shape: GemmShape,
+    config: TPUConfig,
+    engine: Optional[FillEngine] = None,
+    debug_labels: bool = False,
 ) -> List[WorkItem]:
     """Work items for a plain GEMM primitive on the TPU.
 
     A-panels stream per (M-block, K-chunk); B tiles are stationary per
     (K-chunk, N-chunk); C drains per (M-block, N-chunk) on the last K-chunk.
+    ``debug_labels`` opts into per-item position labels (never read on the
+    timing path).
     """
     engine = engine if engine is not None else FillEngine(config)
     elem = config.compute_elem_bytes
@@ -265,7 +274,7 @@ def gemm_schedule(
                 occupancy = tile_occupancy_cycles(rows, k_t, n_t, config, first=not items)
                 items.append(
                     WorkItem(
-                        label=f"m{m0}:k{k0}:n{n0}",
+                        label=f"m{m0}:k{k0}:n{n0}" if debug_labels else "",
                         gemm_cycles=occupancy,
                         fill_cycles=fill,
                         drain_cycles=drain,

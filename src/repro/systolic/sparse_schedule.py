@@ -14,11 +14,14 @@ sparsity experiment sweeps this.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List
 
 from ..core.conv_spec import ConvSpec
 from ..core.sparsity import PositionMask
 from ..core.tiling import MultiTileGroup, tpu_multi_tile_policy
+from ..perf.cache import SIM_CACHE, config_key, spec_key
+from ..perf import schedule_arrays as perf_schedules
 from .config import TPUConfig, TPU_V2
 from .dma import FillEngine
 from .scheduler import WorkItem, execute_schedule, ifmap_rows_per_block, tile_occupancy_cycles
@@ -46,8 +49,13 @@ def sparse_channel_first_schedule(
     config: TPUConfig = TPU_V2,
     engine: FillEngine = None,
     group_size: int = None,
+    debug_labels: bool = False,
 ) -> List[WorkItem]:
-    """The channel-first schedule restricted to the mask's positions."""
+    """The channel-first schedule restricted to the mask's positions.
+
+    This is the per-item reference path (timing runs go through the
+    vectorized arrays in :func:`simulate_conv_sparse`); ``debug_labels``
+    opts into the per-item label strings."""
     if mask.spec != spec:
         raise ValueError("mask was built for a different spec")
     engine = engine if engine is not None else FillEngine(config)
@@ -76,7 +84,7 @@ def sparse_channel_first_schedule(
                         drain = engine.ofmap_drain_cycles(rows, n_t)
                     items.append(
                         WorkItem(
-                            label=f"sparse:m{m0}:g{gi}:k{k0}:n{n0}",
+                            label=f"sparse:m{m0}:g{gi}:k{k0}:n{n0}" if debug_labels else "",
                             gemm_cycles=tile_occupancy_cycles(
                                 rows, k_t, n_t, config, first=not items
                             ),
@@ -92,16 +100,30 @@ def simulate_conv_sparse(
     spec: ConvSpec, mask: PositionMask, config: TPUConfig = TPU_V2
 ) -> LayerResult:
     """Timing of the position-sparse conv; MACs counted for the kept work."""
-    outcome = execute_schedule(sparse_channel_first_schedule(spec, mask, config))
-    kept_macs = int(spec.macs * mask.density)
-    cycles = outcome.total_cycles
-    return LayerResult(
-        name=f"sparse[{mask.density:.2f}]:{spec.describe()}",
-        cycles=cycles,
-        tflops=2 * kept_macs * config.clock_ghz / cycles / 1e3,
-        utilization=kept_macs / (config.peak_macs_per_cycle * cycles),
-        compute_cycles=outcome.compute_cycles,
-        dma_cycles=outcome.dma_cycles,
-        exposed_dma_cycles=outcome.exposed_dma_cycles,
-        macs=kept_macs,
-    )
+    name = f"sparse[{mask.density:.2f}]:{spec.describe()}"
+
+    def compute() -> LayerResult:
+        engine = FillEngine(config)
+        group_size = tpu_multi_tile_policy(spec, config.array_rows)
+        schedule = perf_schedules.conv_schedule_arrays_from_groups(
+            spec, config, engine, _masked_groups(spec, mask, group_size), group_size
+        )
+        outcome = perf_schedules.execute_schedule_arrays(schedule)
+        kept_macs = int(spec.macs * mask.density)
+        cycles = outcome.total_cycles
+        return LayerResult(
+            name=name,
+            cycles=cycles,
+            tflops=2 * kept_macs * config.clock_ghz / cycles / 1e3,
+            utilization=kept_macs / (config.peak_macs_per_cycle * cycles),
+            compute_cycles=outcome.compute_cycles,
+            dma_cycles=outcome.dma_cycles,
+            exposed_dma_cycles=outcome.exposed_dma_cycles,
+            macs=kept_macs,
+        )
+
+    key = ("tpu-sparse", config_key(config), spec_key(spec), mask.kept)
+    result = SIM_CACHE.get_or_compute(key, compute)
+    if result.name != name:
+        result = dataclasses.replace(result, name=name)
+    return result

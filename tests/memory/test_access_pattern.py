@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import ConvSpec, decompose
-from repro.core.layouts import Layout
+from repro.core.layouts import Layout, flatten_index
 from repro.memory import (
     HBMModel,
     analytic_fill_stats,
@@ -44,6 +44,31 @@ class TestTraces:
         full = tile_fill_addresses(spec, tile, Layout.NHWC)
         partial = tile_fill_addresses(spec, tile, Layout.NHWC, max_rows=2)
         assert len(partial) == 2 * spec.w_out * spec.c_in < len(full)
+
+
+class TestVectorizedTraceEquivalence:
+    """The array-arithmetic trace must equal the scalar loop nest exactly —
+    same addresses, same order."""
+
+    @pytest.mark.parametrize("layout", [Layout.NHWC, Layout.NCHW])
+    @pytest.mark.parametrize("stride,padding,dilation", [(1, 0, 1), (2, 1, 1), (1, 1, 2)])
+    def test_matches_reference_loop(self, layout, stride, padding, dilation):
+        spec = ConvSpec(n=2, c_in=3, h_in=9, w_in=9, c_out=2,
+                        h_filter=3, w_filter=3, stride=stride,
+                        padding=padding, dilation=dilation)
+        for tile in decompose(spec):
+            expected = []
+            for n in range(spec.n):
+                for oy in range(spec.h_out):
+                    for ox in range(spec.w_out):
+                        y, x = spec.tap_coordinate(oy, ox, tile.r, tile.s)
+                        if not (0 <= y < spec.h_in and 0 <= x < spec.w_in):
+                            continue
+                        for c in range(spec.c_in):
+                            expected.append(
+                                2 * flatten_index(layout, spec.ifmap_shape, n, c, y, x)
+                            )
+            assert tile_fill_addresses(spec, tile, layout).tolist() == expected
 
 
 class TestRunStructure:

@@ -1,0 +1,121 @@
+"""Invalidation + accounting rules of the simulation memo.
+
+The cache is only sound if *every* field of a config or spec — nested
+sub-configs included — reaches the key, and the one deliberate exception
+(``ConvSpec.name``) is handled by re-labelling on hit.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.conv_spec import ConvSpec
+from repro.perf.cache import (
+    SIM_CACHE,
+    SimulationCache,
+    config_key,
+    fingerprint,
+    set_cache_enabled,
+    spec_key,
+)
+from repro.systolic.config import TPU_V2
+from repro.systolic.simulator import TPUSim
+
+SPEC = ConvSpec(n=1, c_in=64, h_in=14, w_in=14, c_out=64, h_filter=3, w_filter=3, padding=1)
+
+
+def perturbed(value):
+    """A different value of the same broad type (recursing into dataclasses)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        field = dataclasses.fields(value)[0]
+        return dataclasses.replace(
+            value, **{field.name: perturbed(getattr(value, field.name))}
+        )
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, (int, float)):
+        return value * 2 + 1
+    if isinstance(value, str):
+        return value + "-x"
+    raise TypeError(f"no perturbation for {value!r}")
+
+
+@pytest.mark.parametrize(
+    "field", [f.name for f in dataclasses.fields(TPU_V2)]
+)
+def test_every_config_field_reaches_the_key(field):
+    changes = {field: perturbed(getattr(TPU_V2, field))}
+    # The config ties one vector memory to one PE row — keep it satisfiable.
+    if field == "array_rows":
+        changes["num_vector_memories"] = changes["array_rows"]
+    if field == "num_vector_memories":
+        changes["array_rows"] = changes["num_vector_memories"]
+    assert config_key(dataclasses.replace(TPU_V2, **changes)) != config_key(TPU_V2)
+
+
+@pytest.mark.parametrize(
+    "field", [f.name for f in dataclasses.fields(SPEC) if f.name != "name"]
+)
+def test_every_spec_field_reaches_the_key(field):
+    value = getattr(SPEC, field)
+    if field in ("stride", "dilation"):
+        changed = dataclasses.replace(SPEC, **{field: value + 1})
+    else:
+        changed = dataclasses.replace(SPEC, **{field: perturbed(value)})
+    assert spec_key(changed) != spec_key(SPEC)
+
+
+def test_spec_name_is_excluded_but_fingerprint_keeps_it():
+    renamed = dataclasses.replace(SPEC, name="conv4_x")
+    assert spec_key(renamed) == spec_key(SPEC)
+    # The GPU models' generic fingerprint must NOT share entries across
+    # names — their deterministic noise hashes spec.describe().
+    assert fingerprint(renamed) != fingerprint(SPEC)
+
+
+def test_nested_hbm_field_reaches_the_key():
+    hbm = dataclasses.replace(TPU_V2.hbm, row_miss_penalty_cycles=21.0)
+    assert config_key(dataclasses.replace(TPU_V2, hbm=hbm)) != config_key(TPU_V2)
+
+
+def test_hit_miss_accounting():
+    cache = SimulationCache()
+    calls = []
+    compute = lambda: calls.append(1) or "value"
+    assert cache.get_or_compute(("k",), compute) == "value"
+    assert cache.get_or_compute(("k",), compute) == "value"
+    assert len(calls) == 1
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.entries) == (1, 1, 1)
+    assert cache.stats.hit_rate == 0.5
+    cache.clear()
+    assert (cache.stats.hits, cache.stats.misses, cache.stats.entries) == (0, 0, 0)
+
+
+def test_disabled_cache_recomputes():
+    cache = SimulationCache(enabled=False)
+    calls = []
+    cache.get_or_compute(("k",), lambda: calls.append(1))
+    cache.get_or_compute(("k",), lambda: calls.append(1))
+    assert len(calls) == 2
+    assert len(cache) == 0
+
+
+def test_global_toggle_restores():
+    set_cache_enabled(False)
+    try:
+        assert SIM_CACHE.enabled is False
+    finally:
+        set_cache_enabled(True)
+    assert SIM_CACHE.enabled is True
+
+
+def test_renamed_layer_shares_entry_and_keeps_its_name():
+    sim = TPUSim()
+    first = sim.simulate_conv(dataclasses.replace(SPEC, name="alpha"))
+    before = SIM_CACHE.stats.hits
+    second = sim.simulate_conv(dataclasses.replace(SPEC, name="beta"))
+    assert SIM_CACHE.stats.hits == before + 1
+    assert first.name.startswith("alpha[")
+    assert second.name.startswith("beta[")
+    assert second.cycles == first.cycles
+    assert dataclasses.replace(second, name=first.name) == first

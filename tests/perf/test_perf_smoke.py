@@ -1,0 +1,54 @@
+"""Tier-1 smoke: the accelerated harness end-to-end.
+
+- the quick harness completes through ``main()``;
+- a cached re-simulation constructs no second schedule;
+- ``--jobs`` produces byte-identical output to the serial run.
+"""
+
+import contextlib
+import io
+
+import pytest
+
+from repro.harness import runner
+from repro.perf.cache import clear_cache
+from repro.perf.schedule_arrays import schedule_construction_count
+from repro.systolic.simulator import TPUSim
+from repro.workloads.networks import resnet50
+
+
+def run_main(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = runner.main(argv)
+    return code, out.getvalue()
+
+
+def test_quick_harness_completes():
+    code, output = run_main(["table1", "fig4", "--quick", "--cache-stats"])
+    assert code == 0
+    assert "simulation cache:" in output
+
+
+def test_cached_resimulation_builds_no_schedule():
+    sim = TPUSim()
+    layers = resnet50(batch=1)
+    first = [sim.simulate_conv(layer) for layer in layers]
+    built = schedule_construction_count()
+    second = [sim.simulate_conv(layer) for layer in layers]
+    assert schedule_construction_count() == built  # pure cache hits
+    assert second == first
+
+
+def test_jobs_output_identical_to_serial():
+    # Workers start with a cold cache; the report must not care.
+    clear_cache()
+    _, parallel = run_main(["table1", "fig13", "--quick", "--jobs", "2"])
+    clear_cache()
+    _, serial = run_main(["table1", "fig13", "--quick"])
+    assert parallel == serial
+
+
+def test_unknown_experiment_fails_before_spawning():
+    with pytest.raises(KeyError):
+        runner.main(["nonesuch", "--jobs", "4"])

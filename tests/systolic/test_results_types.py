@@ -15,8 +15,9 @@ def result():
     return TPUSim().simulate_conv(layer)
 
 
-def test_seconds_property_is_guarded(result):
-    """cycles are the unit of record; .seconds deliberately refuses."""
+def test_no_seconds_attribute(result):
+    """cycles are the unit of record; seconds exist only via latency_s()."""
+    assert not hasattr(result, "seconds")
     with pytest.raises(AttributeError):
         _ = result.seconds
 

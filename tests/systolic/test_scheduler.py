@@ -136,7 +136,7 @@ class TestConvSchedule:
 
 class TestGemmSchedule:
     def test_tile_grid(self):
-        items = gemm_schedule(GemmShape(1024, 256, 256), TPU_V2)
+        items = gemm_schedule(GemmShape(1024, 256, 256), TPU_V2, debug_labels=True)
         # K and N each split into 2 chunks
         labels = {i.label.split(":", 1)[1] for i in items}
         assert labels == {"k0:n0", "k0:n128", "k128:n0", "k128:n128"}
@@ -147,7 +147,7 @@ class TestGemmSchedule:
         assert sum(i.macs for i in items) == shape.macs
 
     def test_drain_on_last_k_chunk(self):
-        items = gemm_schedule(GemmShape(m=1000, n=128, k=256), TPU_V2)
+        items = gemm_schedule(GemmShape(m=1000, n=128, k=256), TPU_V2, debug_labels=True)
         for item in items:
             if "k128" in item.label:
                 assert item.drain_cycles > 0
