@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-figures profile experiments export examples api-doc all
+.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens all
 
 export PYTHONPATH := src
 
@@ -7,6 +7,9 @@ install:
 
 test:
 	pytest tests/
+
+test-fast:
+	pytest tests/ -m "not goldens"
 
 bench:
 	python benchmarks/bench_perf.py
@@ -31,5 +34,8 @@ examples:
 
 api-doc:
 	python tools/gen_api_doc.py
+
+goldens:
+	python tools/gen_goldens.py
 
 all: test bench experiments

@@ -2,8 +2,9 @@
 
 Commands:
 
-- ``experiments [ids...] [--quick]`` — regenerate the paper's tables/figures
-  (same as ``python -m repro.harness.runner``).
+- ``experiments [ids...] [--quick] [--jobs N] [--trace [PATH]]`` —
+  regenerate the paper's tables/figures (same as
+  ``python -m repro.harness.runner``).
 - ``simulate-conv`` — time one conv layer on TPUSim and the V100 model.
 - ``simulate-network <name> [--batch N] [--platform tpu|gpu]`` — a whole CNN.
 - ``sweep-stride`` — the stride study for one layer across all paths.
@@ -52,6 +53,12 @@ def cmd_experiments(args) -> int:
     argv: List[str] = list(args.ids)
     if args.quick:
         argv.append("--quick")
+    if args.jobs != 1:
+        argv.extend(["--jobs", str(args.jobs)])
+    if args.cache_stats:
+        argv.append("--cache-stats")
+    if args.trace is not None:
+        argv.extend(["--trace", args.trace])
     return runner_main(argv)
 
 
@@ -112,6 +119,17 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
     p.add_argument("ids", nargs="*")
     p.add_argument("--quick", action="store_true")
+    p.add_argument("--jobs", type=int, default=1)
+    p.add_argument("--cache-stats", action="store_true")
+    p.add_argument(
+        "--trace",
+        nargs="?",
+        const="trace.json",
+        default=None,
+        metavar="PATH",
+        help="write Chrome trace JSON to PATH (default trace.json) and print "
+        "a cycle-accounting summary",
+    )
     p.set_defaults(func=cmd_experiments)
 
     p = sub.add_parser("simulate-conv", help="time one conv layer on both platforms")

@@ -187,6 +187,11 @@ class ChannelFirstPlan:
     def gemm_n(self) -> int:
         return self.spec.c_out
 
+    # Derived quantities are uniformly properties (like the gemm_* axes and
+    # every result type's accessors): a plan is frozen data, and mixing
+    # call-vs-attribute access across twins of the same concept invites
+    # ``plan.total_macs`` silently evaluating to a bound method.
+    @property
     def tile_input_elements(self) -> int:
         """IFMap elements one decomposed tile reads: N * H_O * W_O * C_I.
 
@@ -194,8 +199,10 @@ class ChannelFirstPlan:
         """
         return self.gemm_m * self.gemm_k
 
+    @property
     def tile_macs(self) -> int:
         return self.gemm_m * self.gemm_k * self.gemm_n
 
+    @property
     def total_macs(self) -> int:
-        return self.tile_macs() * len(self.tiles)
+        return self.tile_macs * len(self.tiles)

@@ -20,6 +20,8 @@ from typing import Optional
 from ..core.conv_spec import ConvSpec
 from ..core.reordering import greedy_reuse_order, order_reuse_fraction
 from ..perf.cache import memoized_model
+from ..trace import metrics as trace_metrics
+from ..trace import tracer as trace
 from .blocked_gemm import KernelTime, kernel_time
 from .config import GPUConfig
 from .shared_memory import (
@@ -53,17 +55,12 @@ class ChannelFirstGPUResult:
 
 
 @memoized_model
-def channel_first_conv_time(
+def _channel_first_conv_time(
     spec: ConvSpec,
     config: GPUConfig,
     reorder: bool = True,
     addressing_overhead: float = ADDRESSING_OVERHEAD,
 ) -> ChannelFirstGPUResult:
-    """Kernel time of our block-level channel-first conv for one layer.
-
-    ``reorder=False`` visits decomposed filters in naive row-major order
-    (no inter-tile reuse) — the Fig 18b ablation baseline.
-    """
     if not (0.0 <= addressing_overhead < 1.0):
         raise ValueError(f"addressing_overhead must be in [0,1), got {addressing_overhead}")
     shape = spec.gemm_shape()
@@ -101,3 +98,24 @@ def channel_first_conv_time(
     )
     kernel = base.scaled(1.0 + addressing_overhead, name=base.name)
     return ChannelFirstGPUResult(kernel=kernel, reuse_fraction=reuse, reordered=reorder)
+
+
+def channel_first_conv_time(
+    spec: ConvSpec,
+    config: GPUConfig,
+    reorder: bool = True,
+    addressing_overhead: float = ADDRESSING_OVERHEAD,
+) -> ChannelFirstGPUResult:
+    """Kernel time of our block-level channel-first conv for one layer.
+
+    ``reorder=False`` visits decomposed filters in naive row-major order
+    (no inter-tile reuse) — the Fig 18b ablation baseline.
+    """
+    with trace.span("gpu.channel_first.time", layer=spec.describe(), reorder=reorder):
+        result = _channel_first_conv_time(
+            spec, config, reorder=reorder, addressing_overhead=addressing_overhead
+        )
+    trace_metrics.record_kernel(
+        "gpu.channel_first", spec.describe() or "conv", result.seconds, result.tflops
+    )
+    return result

@@ -22,6 +22,8 @@ from __future__ import annotations
 
 from ..core.conv_spec import ConvSpec
 from ..perf.cache import memoized_model
+from ..trace import metrics as trace_metrics
+from ..trace import tracer as trace
 from .blocked_gemm import KernelTime, kernel_time
 from .config import GPUConfig
 from .shared_memory import (
@@ -53,10 +55,9 @@ def stride_conflict_factor(stride: int, penalty: float = STRIDE_CONFLICT_PENALTY
 
 
 @memoized_model
-def channel_last_conv_time(
+def _channel_last_conv_time(
     spec: ConvSpec, config: GPUConfig, addressing_overhead: float = ADDRESSING_OVERHEAD
 ) -> KernelTime:
-    """Kernel time of the channel-last implicit conv for one layer."""
     if not (0.0 <= addressing_overhead < 1.0):
         raise ValueError(f"addressing_overhead must be in [0,1), got {addressing_overhead}")
     shape = spec.gemm_shape()
@@ -80,3 +81,17 @@ def channel_last_conv_time(
         staged_bytes=staged,
     )
     return base.scaled(1.0 + addressing_overhead, name=base.name)
+
+
+def channel_last_conv_time(
+    spec: ConvSpec, config: GPUConfig, addressing_overhead: float = ADDRESSING_OVERHEAD
+) -> KernelTime:
+    """Kernel time of the channel-last implicit conv for one layer."""
+    with trace.span("gpu.channel_last.time", layer=spec.describe()):
+        result = _channel_last_conv_time(
+            spec, config, addressing_overhead=addressing_overhead
+        )
+    trace_metrics.record_kernel(
+        "gpu.channel_last", spec.describe() or "conv", result.seconds, result.tflops
+    )
+    return result

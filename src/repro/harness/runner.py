@@ -13,13 +13,23 @@ registry below is the complete per-experiment index from DESIGN.md.
 ``--jobs N`` runs experiments in a ``ProcessPoolExecutor``; results are
 collected and printed in submission order, so the report is byte-identical
 to a serial run (each experiment is deterministic and self-contained).
+
+``--trace [PATH]`` enables the :mod:`repro.trace` instrumentation for the
+run: a Chrome ``trace_event`` JSON lands at PATH (default ``trace.json``)
+and a text summary — span timings, counters, per-source cycle accounting
+with the full invariant audit — prints after the reports.  Under ``--jobs``
+each worker ships its events and metric records home and they are merged by
+(pid, experiment) track.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..perf.cache import SIM_CACHE, CacheStats
 
 from .experiments import (
     ablations,
@@ -41,7 +51,15 @@ from .experiments import (
 )
 from .report import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_many", "run_all", "main"]
+__all__ = [
+    "EXPERIMENTS",
+    "RunTelemetry",
+    "run_experiment",
+    "run_many",
+    "run_many_telemetry",
+    "run_all",
+    "main",
+]
 
 EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "table1": table1.run,
@@ -95,6 +113,96 @@ def run_all(quick: bool = False, jobs: int = 1) -> List[ExperimentResult]:
     return run_many(list(EXPERIMENTS), quick=quick, jobs=jobs)
 
 
+@dataclasses.dataclass
+class RunTelemetry:
+    """Everything a run ships back beyond the reports themselves.
+
+    ``cache`` is the *per-run* lookup accounting (counters are zeroed before
+    each experiment, so pooled workers' warm stores still count their hits
+    honestly); ``events``/``layers``/``kernels`` are empty unless the run
+    traced.
+    """
+
+    events: list = dataclasses.field(default_factory=list)
+    layers: list = dataclasses.field(default_factory=list)
+    kernels: list = dataclasses.field(default_factory=list)
+    cache: CacheStats = CacheStats(hits=0, misses=0, entries=0)
+
+    @classmethod
+    def merge(cls, parts: Iterable["RunTelemetry"]) -> "RunTelemetry":
+        """Fold per-experiment telemetry into one run-wide view.
+
+        Each experiment's events are re-tagged onto their own ``tid`` track:
+        timestamps restart per experiment (and per worker), so distinct
+        tracks are what keeps the merged Chrome trace readable and the
+        counter rollups correct.
+        """
+        merged = cls()
+        for index, part in enumerate(parts):
+            track = index + 1
+            merged.events.extend(
+                dataclasses.replace(event, tid=track) for event in part.events
+            )
+            merged.layers.extend(part.layers)
+            merged.kernels.extend(part.kernels)
+            merged.cache = merged.cache + part.cache
+        return merged
+
+
+def _run_with_telemetry(
+    experiment_id: str, quick: bool, tracing: bool
+) -> Tuple[ExperimentResult, RunTelemetry]:
+    """Run one experiment with per-run cache accounting (and tracing if on).
+
+    Runs in the parent (serial) or in a pool worker (``--jobs``); either way
+    the process-global tracer/registry/cache belong to *this* process, so
+    resetting them here is safe and gives each experiment a clean window.
+    """
+    SIM_CACHE.reset_stats()
+    if not tracing:
+        result = run_experiment(experiment_id, quick=quick)
+        return result, RunTelemetry(cache=SIM_CACHE.stats)
+    from ..trace import metrics as trace_metrics
+    from ..trace import tracer as trace
+
+    registry = trace_metrics.get_registry()
+    registry.clear()
+    trace.get_tracer().clear()
+    trace.enable()
+    try:
+        with trace.span("experiment", cat="harness", experiment=experiment_id):
+            result = run_experiment(experiment_id, quick=quick)
+        telemetry = RunTelemetry(
+            events=trace.drain_events(),
+            layers=registry.layers,
+            kernels=registry.kernels,
+            cache=SIM_CACHE.stats,
+        )
+    finally:
+        trace.disable()
+        registry.clear()
+    return result, telemetry
+
+
+def run_many_telemetry(
+    ids: List[str], quick: bool = False, jobs: int = 1, tracing: bool = False
+) -> Tuple[List[ExperimentResult], RunTelemetry]:
+    """Like :func:`run_many`, but also collect :class:`RunTelemetry`."""
+    if jobs <= 1:
+        pairs = [_run_with_telemetry(eid, quick, tracing) for eid in ids]
+    else:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [
+                pool.submit(_run_with_telemetry, eid, quick, tracing) for eid in ids
+            ]
+            pairs = [future.result() for future in futures]
+    results = [result for result, _ in pairs]
+    telemetry = RunTelemetry.merge(part for _, part in pairs)
+    return results, telemetry
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
@@ -108,7 +216,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--cache-stats",
         action="store_true",
-        help="print simulation-cache hit/miss statistics after the run",
+        help="print per-run simulation-cache hit/miss statistics "
+        "(aggregated across workers under --jobs)",
+    )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="trace.json",
+        default=None,
+        metavar="PATH",
+        help="collect cycle-accounting traces; writes Chrome trace JSON to "
+        "PATH (default trace.json) and prints a summary",
     )
     parser.add_argument(
         "--export-dir",
@@ -122,14 +240,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             raise KeyError(
                 f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}"
             )
-    results = run_many(ids, quick=args.quick, jobs=args.jobs)
+    tracing = args.trace is not None
+    results, telemetry = run_many_telemetry(
+        ids, quick=args.quick, jobs=args.jobs, tracing=tracing
+    )
     for result in results:
         print(result.render())
         print()
-    if args.cache_stats:
-        from ..perf.cache import cache_stats
+    if tracing:
+        from ..trace.export import render_summary, write_chrome_trace
+        from ..trace.metrics import MetricsRegistry
 
-        stats = cache_stats()
+        registry = MetricsRegistry()
+        registry.merge(telemetry.layers, telemetry.kernels)
+        write_chrome_trace(
+            args.trace,
+            telemetry.events,
+            metadata={"experiments": ids, "quick": args.quick, "jobs": args.jobs},
+        )
+        print(render_summary(telemetry.events, registry))
+        print(f"chrome trace written to {args.trace}")
+    if args.cache_stats:
+        stats = telemetry.cache
         print(
             f"simulation cache: {stats.hits} hits / {stats.misses} misses "
             f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries)"

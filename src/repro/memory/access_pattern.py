@@ -28,6 +28,7 @@ import numpy as np
 from ..core.channel_first import DecomposedFilter
 from ..core.conv_spec import ConvSpec
 from ..core.layouts import Layout
+from ..trace import tracer as trace
 from .dram import HBMModel, TransferStats, run_length_stats
 
 __all__ = [
@@ -135,14 +136,17 @@ def compare_layout_fill(
 ) -> Dict[Layout, LayoutFillResult]:
     """Price the same tile fill under several DRAM layouts (Fig 7)."""
     results = {}
-    for layout in layouts:
-        stats = fill_stats(spec, tile, layout, elem_bytes, max_rows=max_rows)
-        results[layout] = LayoutFillResult(
-            layout=layout,
-            stats=stats,
-            cycles=hbm.transfer_cycles(stats),
-            effective_bandwidth_gbps=hbm.effective_bandwidth_gbps(stats),
-        )
+    with trace.span(
+        "memory.layout_fill", layer=spec.describe(), tap=f"r{tile.r}s{tile.s}"
+    ):
+        for layout in layouts:
+            stats = fill_stats(spec, tile, layout, elem_bytes, max_rows=max_rows)
+            results[layout] = LayoutFillResult(
+                layout=layout,
+                stats=stats,
+                cycles=hbm.transfer_cycles(stats),
+                effective_bandwidth_gbps=hbm.effective_bandwidth_gbps(stats),
+            )
     return results
 
 

@@ -31,6 +31,8 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..trace import tracer as trace
+
 __all__ = ["HBMConfig", "HBMModel", "TransferStats", "run_length_stats"]
 
 
@@ -171,7 +173,12 @@ class HBMModel:
                 if row != last_row[channel]:
                     last_row[channel] = row
                 busy[channel] += cost
-        return max(busy) + cfg.request_latency_cycles
+        total = max(busy) + cfg.request_latency_cycles
+        if trace.enabled():
+            trace.counter("hbm.trace_walks", 1, cat="hbm")
+            trace.counter("hbm.trace_bursts", len(seen_bursts), cat="hbm")
+            trace.counter("hbm.trace_cycles", total, cat="hbm")
+        return total
 
     # --------------------------------------------------------- summary path
     def transfer_cycles(self, stats: TransferStats) -> float:
@@ -208,7 +215,12 @@ class HBMModel:
         sequential = rows_touched * cfg.row_miss_penalty_cycles / cfg.banks_per_channel
         random_starts = min(stats.runs, rows_touched) * cfg.row_miss_penalty_cycles
         miss_cycles = (sequential + random_starts) / cfg.channels
-        return payload_cycles + miss_cycles + cfg.request_latency_cycles
+        total = payload_cycles + miss_cycles + cfg.request_latency_cycles
+        if trace.enabled():
+            trace.counter("hbm.transfers", 1, cat="hbm")
+            trace.counter("hbm.bytes", stats.bytes, cat="hbm")
+            trace.counter("hbm.cycles", total, cat="hbm")
+        return total
 
     def contiguous_cycles(self, nbytes: int) -> float:
         """Cycles to stream ``nbytes`` as one contiguous run."""

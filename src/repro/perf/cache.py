@@ -39,6 +39,7 @@ __all__ = [
     "memoized_model",
     "cache_stats",
     "clear_cache",
+    "reset_cache_stats",
     "set_cache_enabled",
 ]
 
@@ -55,6 +56,20 @@ class CacheStats:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate stats across runs/processes.
+
+        ``entries`` adds too: under ``--jobs N`` each worker owns a separate
+        store, so the sum is the fleet-wide entry count.
+        """
+        if not isinstance(other, CacheStats):
+            return NotImplemented
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            entries=self.entries + other.entries,
+        )
 
 
 class SimulationCache:
@@ -91,6 +106,16 @@ class SimulationCache:
         self.hits = 0
         self.misses = 0
 
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters without dropping cached entries.
+
+        This is what "per-run" accounting needs: pooled worker processes
+        keep their warm stores between experiments, but each run's report
+        should count only its own lookups.
+        """
+        self.hits = 0
+        self.misses = 0
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -111,6 +136,11 @@ def cache_stats() -> CacheStats:
 def clear_cache() -> None:
     """Drop every cached result and reset the counters."""
     SIM_CACHE.clear()
+
+
+def reset_cache_stats() -> None:
+    """Zero the global cache's hit/miss counters, keeping its entries."""
+    SIM_CACHE.reset_stats()
 
 
 def set_cache_enabled(enabled: bool) -> None:

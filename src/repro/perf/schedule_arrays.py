@@ -38,6 +38,7 @@ import numpy as np
 from ..core.conv_spec import ConvSpec, GemmShape
 from ..core.layouts import Layout
 from ..core.tiling import MultiTileGroup, plan_multi_tile, tpu_multi_tile_policy
+from ..trace import tracer as trace
 from ..systolic.config import TPUConfig
 from ..systolic.dma import FillEngine
 from ..systolic.scheduler import (
@@ -217,6 +218,9 @@ def execute_schedule_arrays(schedule: ScheduleArrays) -> ScheduleResult:
     n = len(schedule)
     if n == 0:
         return ScheduleResult(0.0, 0.0, 0.0, 0.0, 0, 0)
+    if trace.enabled():
+        trace.counter("schedule.vectorized_executions", 1, cat="schedule")
+        trace.counter("schedule.vectorized_items", n, cat="schedule")
     fill = schedule.fill_cycles
     gemm = schedule.gemm_cycles
     drain = schedule.drain_cycles
@@ -325,6 +329,8 @@ def conv_schedule_arrays_from_groups(
     """
     global _CONSTRUCTION_COUNT
     _CONSTRUCTION_COUNT += 1
+    if trace.enabled():
+        trace.counter("schedule.constructions", 1, cat="schedule")
     array_rows, array_cols = config.array_rows, config.array_cols
     m_total = spec.lowered_rows()
     m_block = ifmap_rows_per_block(spec, config, group_size)
@@ -423,6 +429,8 @@ def gemm_schedule_arrays(
     """Vectorized twin of :func:`repro.systolic.scheduler.gemm_schedule`."""
     global _CONSTRUCTION_COUNT
     _CONSTRUCTION_COUNT += 1
+    if trace.enabled():
+        trace.counter("schedule.constructions", 1, cat="schedule")
     engine = engine if engine is not None else FillEngine(config)
     array_rows, array_cols = config.array_rows, config.array_cols
     elem = config.compute_elem_bytes

@@ -24,6 +24,8 @@ from typing import List
 from ..core.conv_spec import ConvSpec
 from ..perf.cache import SIM_CACHE, config_key, spec_key
 from ..perf import schedule_arrays as perf_schedules
+from ..trace import metrics as trace_metrics
+from ..trace import tracer as trace
 from .config import TPUConfig, TPU_V2
 from .scheduler import WorkItem, channel_first_schedule
 from .simulator import LayerResult
@@ -84,23 +86,25 @@ def simulate_conv_dual_mxu(
     name = f"mxu-x{arrays}:{spec.describe()}"
 
     def compute() -> LayerResult:
-        schedule = perf_schedules.channel_first_schedule_arrays(spec, config)
-        total, compute_busy, dma_busy, _ = perf_schedules.execute_multi_array_schedule(
-            schedule, arrays
-        )
-        return LayerResult(
-            name=name,
-            cycles=total,
-            tflops=2 * spec.macs * config.clock_ghz / total / 1e3,
-            utilization=spec.macs / (arrays * config.peak_macs_per_cycle * total),
-            compute_cycles=compute_busy,
-            dma_cycles=dma_busy,
-            exposed_dma_cycles=max(0.0, total - compute_busy / arrays),
-            macs=spec.macs,
-        )
+        with trace.span("tpu.dual_mxu.simulate", layer=name, arrays=arrays):
+            schedule = perf_schedules.channel_first_schedule_arrays(spec, config)
+            total, compute_busy, dma_busy, _ = perf_schedules.execute_multi_array_schedule(
+                schedule, arrays
+            )
+            return LayerResult(
+                name=name,
+                cycles=total,
+                tflops=2 * spec.macs * config.clock_ghz / total / 1e3,
+                utilization=spec.macs / (arrays * config.peak_macs_per_cycle * total),
+                compute_cycles=compute_busy,
+                dma_cycles=dma_busy,
+                exposed_dma_cycles=max(0.0, total - compute_busy / arrays),
+                macs=spec.macs,
+            )
 
     key = ("tpu-multi-mxu", config_key(config), spec_key(spec), arrays)
     result = SIM_CACHE.get_or_compute(key, compute)
     if result.name != name:
         result = dataclasses.replace(result, name=name)
+    trace_metrics.record_layer("tpu.dual_mxu", result, key=key, arrays=arrays)
     return result

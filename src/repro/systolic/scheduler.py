@@ -25,6 +25,7 @@ from typing import List, Optional
 from ..core.conv_spec import ConvSpec, GemmShape
 from ..core.layouts import Layout
 from ..core.tiling import plan_multi_tile, tpu_multi_tile_policy
+from ..trace import tracer as trace
 from .config import TPUConfig
 from .dma import FillEngine
 from .systolic_array import gemm_tile_cycles
@@ -112,6 +113,9 @@ def execute_schedule(items: List[WorkItem]) -> ScheduleResult:
     Sec. IV-A).  Compute item ``i`` starts once its fill has landed and the
     array is free.
     """
+    if trace.enabled():
+        trace.counter("schedule.reference_executions", 1, cat="schedule")
+        trace.counter("schedule.reference_items", len(items), cat="schedule")
     read_free = 0.0
     write_free = 0.0
     compute_free = 0.0

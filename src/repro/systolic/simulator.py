@@ -34,6 +34,8 @@ from ..perf.cache import SIM_CACHE, config_key, spec_key
 # systolic scheduler back, so grabbing names here would break whichever
 # package imports first.  The module object resolves cleanly either way.
 from ..perf import schedule_arrays as perf_schedules
+from ..trace import metrics as trace_metrics
+from ..trace import tracer as trace
 from .config import TPUConfig, TPU_V2
 from .dma import FillEngine
 from .scheduler import ScheduleResult
@@ -119,35 +121,40 @@ class TPUSim:
         name = spec.describe() or "conv"
 
         def compute() -> LayerResult:
-            schedule = perf_schedules.channel_first_schedule_arrays(
-                spec, self.config, self.engine, group_size=resolved_group, layout=layout
-            )
-            outcome = perf_schedules.execute_schedule_arrays(schedule)
-            return self._layer_result(name, spec.macs, outcome, resolved_group)
+            with trace.span("tpu.conv.simulate", layer=name, group_size=resolved_group):
+                schedule = perf_schedules.channel_first_schedule_arrays(
+                    spec, self.config, self.engine, group_size=resolved_group, layout=layout
+                )
+                outcome = perf_schedules.execute_schedule_arrays(schedule)
+                return self._layer_result(name, spec.macs, outcome, resolved_group)
 
         key = ("tpu-conv", config_key(self.config), spec_key(spec), resolved_group, layout.value)
         result = SIM_CACHE.get_or_compute(key, compute)
         if result.name != name:  # cached under another layer's label
             result = dataclasses.replace(result, name=name)
+        trace_metrics.record_layer("tpu.conv", result, key=key)
         return result
 
     def simulate_gemm(self, shape: GemmShape, name: str = "gemm") -> LayerResult:
         """Timing of a plain GEMM primitive (Fig 13a, Fig 4 reference)."""
 
         def compute() -> LayerResult:
-            outcome = perf_schedules.execute_schedule_arrays(
-                perf_schedules.gemm_schedule_arrays(shape, self.config, self.engine)
-            )
-            return self._layer_result(name, shape.macs, outcome, 1)
+            with trace.span("tpu.gemm.simulate", gemm=name):
+                outcome = perf_schedules.execute_schedule_arrays(
+                    perf_schedules.gemm_schedule_arrays(shape, self.config, self.engine)
+                )
+                return self._layer_result(name, shape.macs, outcome, 1)
 
         key = ("tpu-gemm", config_key(self.config), shape.m, shape.n, shape.k)
         result = SIM_CACHE.get_or_compute(key, compute)
         if result.name != name:
             result = dataclasses.replace(result, name=name)
+        trace_metrics.record_layer("tpu.gemm", result, key=key)
         return result
 
     def simulate_network(self, name: str, layers: Sequence[ConvSpec]) -> NetworkResult:
-        results = [self.simulate_conv(layer) for layer in layers]
+        with trace.span("tpu.network.simulate", network=name, layers=len(layers)):
+            results = [self.simulate_conv(layer) for layer in layers]
         return NetworkResult(name=name, layers=results)
 
     def _layer_result(

@@ -1,0 +1,74 @@
+"""Cycle-accounting observability: tracing, metrics audits, golden snapshots.
+
+Four pieces, layered so the simulators pay nothing unless a run opts in:
+
+- :mod:`repro.trace.tracer` — structured spans/instants/counters with a
+  zero-overhead disabled path (the instrumented modules call straight into
+  it);
+- :mod:`repro.trace.metrics` — per-layer cycle-accounting records with
+  invariant audits (exposure identity, cache coherence, utilization bounds);
+- :mod:`repro.trace.export` — Chrome ``trace_event`` JSON and the ``--trace``
+  text summary;
+- :mod:`repro.trace.goldens` — bit-exact golden snapshots of every figure
+  experiment's per-layer breakdowns (regenerate with ``make goldens``).
+
+``goldens`` is deliberately **not** re-exported here: it imports the
+simulators, and the simulators import this package for instrumentation —
+import it explicitly as ``repro.trace.goldens``.
+
+See DESIGN.md ("Cycle-accounting observability") for semantics.
+"""
+
+from .tracer import (
+    NULL_SPAN,
+    TraceEvent,
+    Tracer,
+    counter,
+    disable,
+    drain_events,
+    enable,
+    enabled,
+    get_tracer,
+    instant,
+    set_tracer,
+    span,
+)
+from .metrics import (
+    CycleAccountingError,
+    KernelTimeRecord,
+    LayerCycleRecord,
+    MetricsRegistry,
+    audit_record,
+    get_registry,
+    record_kernel,
+    record_layer,
+    set_registry,
+)
+from .export import chrome_trace_payload, render_summary, write_chrome_trace
+
+__all__ = [
+    "NULL_SPAN",
+    "TraceEvent",
+    "Tracer",
+    "counter",
+    "disable",
+    "drain_events",
+    "enable",
+    "enabled",
+    "get_tracer",
+    "instant",
+    "set_tracer",
+    "span",
+    "CycleAccountingError",
+    "KernelTimeRecord",
+    "LayerCycleRecord",
+    "MetricsRegistry",
+    "audit_record",
+    "get_registry",
+    "record_kernel",
+    "record_layer",
+    "set_registry",
+    "chrome_trace_payload",
+    "render_summary",
+    "write_chrome_trace",
+]

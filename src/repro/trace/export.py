@@ -1,0 +1,127 @@
+"""Trace export: Chrome ``trace_event`` JSON and the text summary report.
+
+The JSON payload follows the Trace Event Format's "JSON object" flavour —
+``{"traceEvents": [...], ...metadata}`` — and loads directly into
+``chrome://tracing`` / Perfetto.  The text summary is what ``--trace``
+prints to stdout after a run: span time by name, counter totals, and the
+per-source cycle-accounting table from the :class:`MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+from .tracer import TraceEvent
+
+__all__ = [
+    "chrome_trace_payload",
+    "write_chrome_trace",
+    "render_summary",
+]
+
+
+def chrome_trace_payload(
+    events: Sequence[TraceEvent], metadata: Optional[dict] = None
+) -> dict:
+    """The Chrome-loadable dict for a sequence of events.
+
+    Events are ordered by ``(pid, tid, ts)`` so merged multi-process traces
+    (``--jobs N``) stay deterministic regardless of worker completion order.
+    """
+    ordered = sorted(events, key=lambda e: (e.pid, e.tid, e.ts, e.name))
+    payload = {
+        "traceEvents": [event.to_chrome() for event in ordered],
+        "displayTimeUnit": "ms",
+    }
+    if metadata:
+        payload["otherData"] = dict(metadata)
+    return payload
+
+
+def write_chrome_trace(
+    path: str, events: Sequence[TraceEvent], metadata: Optional[dict] = None
+) -> str:
+    """Write the Chrome trace JSON; returns the path written."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_payload(events, metadata), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def _span_rollup(events: Iterable[TraceEvent]) -> Dict[str, List[float]]:
+    """name -> [count, total_us] over complete ("X") events."""
+    rollup: Dict[str, List[float]] = {}
+    for event in events:
+        if event.ph != "X":
+            continue
+        entry = rollup.setdefault(event.name, [0, 0.0])
+        entry[0] += 1
+        entry[1] += event.dur
+    return rollup
+
+
+def _counter_rollup(events: Iterable[TraceEvent]) -> Dict[str, float]:
+    """name -> final running total over counter ("C") events.
+
+    Counter events carry *running totals* per tracer window, so the final
+    value per ``(pid, tid, name)`` track is that window's total; across
+    tracks (the runner re-tags each experiment's events onto its own tid,
+    and ``--jobs N`` merges worker pids) the totals add.
+    """
+    per_pid: Dict[tuple, float] = {}
+    for event in events:
+        if event.ph != "C":
+            continue
+        for key, value in event.args:
+            slot = (event.pid, event.tid, key)
+            per_pid[slot] = max(per_pid.get(slot, 0.0), float(value))
+    totals: Dict[str, float] = {}
+    for (_, _, key), value in per_pid.items():
+        totals[key] = totals.get(key, 0.0) + value
+    return totals
+
+
+def render_summary(
+    events: Sequence[TraceEvent], registry: Optional[MetricsRegistry] = None
+) -> str:
+    """The ``--trace`` text report: spans, counters, cycle accounting."""
+    lines: List[str] = ["== trace summary =="]
+
+    spans = _span_rollup(events)
+    if spans:
+        lines.append("")
+        lines.append(f"{'span':<40} {'count':>7} {'total ms':>10}")
+        for name in sorted(spans, key=lambda n: -spans[n][1]):
+            count, total_us = spans[name]
+            lines.append(f"{name:<40} {int(count):>7} {total_us / 1e3:>10.2f}")
+
+    counters = _counter_rollup(events)
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<40} {'total':>14}")
+        for name in sorted(counters):
+            lines.append(f"{name:<40} {counters[name]:>14,.0f}")
+
+    if registry is not None and registry.layers:
+        lines.append("")
+        lines.append(
+            f"{'source':<16} {'layers':>6} {'cycles':>15} {'compute%':>9} "
+            f"{'exposed%':>9} {'dma':>15}"
+        )
+        for source, agg in sorted(registry.by_source().items()):
+            cycles = agg["cycles"] or 1.0
+            capacity = agg["array_cycles"] or 1.0
+            lines.append(
+                f"{source:<16} {int(agg['layers']):>6} {agg['cycles']:>15,.0f} "
+                f"{100 * agg['compute_cycles'] / capacity:>8.1f}% "
+                f"{100 * agg['exposed_dma_cycles'] / cycles:>8.1f}% "
+                f"{agg['dma_cycles']:>15,.0f}"
+            )
+        checked = registry.audit()
+        lines.append("")
+        lines.append(
+            f"cycle-accounting audit: {checked} layer records checked, all invariants hold"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,315 @@
+"""Per-layer cycle accounting with invariant audits.
+
+The paper's evaluation (Figs 13-15) rests on *where cycles go* — compute vs.
+DMA vs. exposed DMA vs. pipeline fill/drain.  This module is the ledger that
+keeps those attributions honest across every execution path (per-item
+reference, vectorized ScheduleArrays, memoized, ``--jobs N``):
+
+- :class:`LayerCycleRecord` — one simulated layer/GEMM's breakdown, as
+  recorded by the instrumented simulators;
+- :func:`audit_record` — the invariants every record must satisfy, raising
+  :class:`CycleAccountingError` with a precise message when one does not:
+
+  1. every component is finite and non-negative;
+  2. **exposure identity**: ``exposed_dma_cycles`` equals
+     ``max(0, cycles - compute_cycles / arrays)`` *bit-exactly* — the same
+     expression every executor uses, so any re-derivation drift fails loudly;
+  3. the array cannot be busier than the makespan allows:
+     ``compute_cycles <= arrays * cycles`` (tiny relative tolerance for the
+     differently-associated float sums);
+  4. work implies time: ``macs > 0`` forces ``cycles > 0``;
+  5. utilization stays within ``[0, 1]``.
+
+- :class:`MetricsRegistry` — accumulates records, audits on entry, and
+  cross-checks **cache coherence**: two records under the same memo key
+  (one miss, one hit) must carry identical numbers, so a stale or corrupted
+  cache entry is caught the moment it is served.
+
+Everything is inert unless tracing is enabled — the module-level
+:func:`record_layer` / :func:`record_kernel` helpers return immediately
+otherwise, keeping the simulators' hot paths free of bookkeeping.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Dict, List, Optional, Tuple
+
+from .tracer import enabled as _tracing
+from .tracer import get_tracer
+
+__all__ = [
+    "CycleAccountingError",
+    "LayerCycleRecord",
+    "KernelTimeRecord",
+    "audit_record",
+    "MetricsRegistry",
+    "get_registry",
+    "set_registry",
+    "record_layer",
+    "record_kernel",
+]
+
+#: Relative slack for inequality audits only (sums associated differently by
+#: the reference and vectorized executors).  Identities are checked exactly.
+_REL_TOL = 1e-9
+
+
+class CycleAccountingError(AssertionError):
+    """A cycle-accounting invariant was violated."""
+
+
+@dataclasses.dataclass(frozen=True)
+class LayerCycleRecord:
+    """One layer's (or GEMM primitive's) cycle breakdown.
+
+    ``arrays`` is the number of MXUs the compute-busy cycles are spread over
+    (1 everywhere except the dual-MXU design study); ``key`` identifies the
+    memo entry the result came from, enabling the hit-vs-miss coherence
+    audit.
+    """
+
+    source: str
+    name: str
+    cycles: float
+    compute_cycles: float
+    dma_cycles: float
+    exposed_dma_cycles: float
+    macs: int
+    utilization: float = 0.0
+    group_size: int = 1
+    arrays: int = 1
+    key: Optional[Tuple] = None
+
+    def identity(self) -> Tuple:
+        """The fields two records sharing a memo key must agree on.
+
+        The label is excluded on purpose: the cache re-labels shared entries
+        (``spec_key`` drops ``ConvSpec.name``), and that is legal — only the
+        numbers must match.
+        """
+        return (
+            self.cycles,
+            self.compute_cycles,
+            self.dma_cycles,
+            self.exposed_dma_cycles,
+            self.macs,
+            self.group_size,
+            self.arrays,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class KernelTimeRecord:
+    """One GPU kernel timing (the tensor-core models account in seconds)."""
+
+    source: str
+    name: str
+    seconds: float
+    tflops: float
+
+
+def audit_record(record: LayerCycleRecord) -> None:
+    """Raise :class:`CycleAccountingError` unless every invariant holds."""
+    numeric = {
+        "cycles": record.cycles,
+        "compute_cycles": record.compute_cycles,
+        "dma_cycles": record.dma_cycles,
+        "exposed_dma_cycles": record.exposed_dma_cycles,
+    }
+    for field, value in numeric.items():
+        if not math.isfinite(value):
+            raise CycleAccountingError(
+                f"{record.source}:{record.name}: {field} is not finite ({value})"
+            )
+        if value < 0:
+            raise CycleAccountingError(
+                f"{record.source}:{record.name}: {field} is negative ({value})"
+            )
+    if record.macs < 0:
+        raise CycleAccountingError(
+            f"{record.source}:{record.name}: negative MAC count {record.macs}"
+        )
+    if record.arrays < 1:
+        raise CycleAccountingError(
+            f"{record.source}:{record.name}: arrays must be >= 1, got {record.arrays}"
+        )
+    if record.macs > 0 and record.cycles <= 0:
+        raise CycleAccountingError(
+            f"{record.source}:{record.name}: {record.macs} MACs took "
+            f"{record.cycles} cycles — work must cost time"
+        )
+    # The exposure identity, evaluated with the exact expression every
+    # executor uses so the comparison is bit-for-bit.
+    expected_exposed = max(0.0, record.cycles - record.compute_cycles / record.arrays)
+    if record.exposed_dma_cycles != expected_exposed:
+        raise CycleAccountingError(
+            f"{record.source}:{record.name}: exposure identity broken — "
+            f"exposed_dma_cycles={record.exposed_dma_cycles!r} but "
+            f"max(0, cycles - compute/arrays)={expected_exposed!r}"
+        )
+    if record.compute_cycles > record.arrays * record.cycles * (1 + _REL_TOL):
+        raise CycleAccountingError(
+            f"{record.source}:{record.name}: compute_cycles "
+            f"{record.compute_cycles} exceeds {record.arrays} array(s) x "
+            f"cycles {record.cycles}"
+        )
+    if not (0.0 <= record.utilization <= 1 + _REL_TOL):
+        raise CycleAccountingError(
+            f"{record.source}:{record.name}: utilization {record.utilization} "
+            f"outside [0, 1]"
+        )
+
+
+class MetricsRegistry:
+    """Accumulates audited records and cross-checks cache coherence."""
+
+    __slots__ = ("_layers", "_kernels", "_by_key")
+
+    def __init__(self) -> None:
+        self._layers: List[LayerCycleRecord] = []
+        self._kernels: List[KernelTimeRecord] = []
+        self._by_key: Dict[Tuple, LayerCycleRecord] = {}
+
+    # ---------------------------------------------------------------- record
+    def record_layer(self, record: LayerCycleRecord) -> None:
+        audit_record(record)
+        if record.key is not None:
+            first = self._by_key.get(record.key)
+            if first is None:
+                self._by_key[record.key] = record
+            elif first.identity() != record.identity():
+                raise CycleAccountingError(
+                    f"cache coherence broken for {record.source}:{record.name}: "
+                    f"hit returned {record.identity()} but the original "
+                    f"computation recorded {first.identity()}"
+                )
+        self._layers.append(record)
+
+    def record_kernel(self, record: KernelTimeRecord) -> None:
+        if not math.isfinite(record.seconds) or record.seconds < 0:
+            raise CycleAccountingError(
+                f"{record.source}:{record.name}: kernel seconds must be finite "
+                f"and non-negative, got {record.seconds}"
+            )
+        if record.tflops < 0:
+            raise CycleAccountingError(
+                f"{record.source}:{record.name}: negative TFLOPS {record.tflops}"
+            )
+        self._kernels.append(record)
+
+    def merge(self, layers, kernels=()) -> None:
+        """Fold records shipped back from a worker process into this registry."""
+        for record in layers:
+            self.record_layer(record)
+        for record in kernels:
+            self.record_kernel(record)
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def layers(self) -> List[LayerCycleRecord]:
+        return list(self._layers)
+
+    @property
+    def kernels(self) -> List[KernelTimeRecord]:
+        return list(self._kernels)
+
+    def __len__(self) -> int:
+        return len(self._layers) + len(self._kernels)
+
+    def clear(self) -> None:
+        self._layers.clear()
+        self._kernels.clear()
+        self._by_key.clear()
+
+    def audit(self) -> int:
+        """Re-audit every stored layer record; returns how many were checked."""
+        for record in self._layers:
+            audit_record(record)
+        return len(self._layers)
+
+    def by_source(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate cycle accounting per instrumentation source."""
+        out: Dict[str, Dict[str, float]] = {}
+        for record in self._layers:
+            agg = out.setdefault(
+                record.source,
+                {
+                    "layers": 0,
+                    "cycles": 0.0,
+                    "array_cycles": 0.0,
+                    "compute_cycles": 0.0,
+                    "dma_cycles": 0.0,
+                    "exposed_dma_cycles": 0.0,
+                    "macs": 0,
+                },
+            )
+            agg["layers"] += 1
+            agg["cycles"] += record.cycles
+            # Compute capacity: the makespan times how many arrays could have
+            # been busy, so compute% stays <= 100 for the dual-MXU source.
+            agg["array_cycles"] += record.arrays * record.cycles
+            agg["compute_cycles"] += record.compute_cycles
+            agg["dma_cycles"] += record.dma_cycles
+            agg["exposed_dma_cycles"] += record.exposed_dma_cycles
+            agg["macs"] += record.macs
+        return out
+
+
+#: Process-global registry behind the module-level helpers.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the global registry (tests); returns the previous one."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous
+
+
+def record_layer(
+    source: str,
+    result,
+    key: Optional[Tuple] = None,
+    arrays: int = 1,
+) -> None:
+    """Record a ``LayerResult``-shaped object; no-op unless tracing is on."""
+    if not _tracing():
+        return
+    record = LayerCycleRecord(
+        source=source,
+        name=result.name,
+        cycles=result.cycles,
+        compute_cycles=result.compute_cycles,
+        dma_cycles=result.dma_cycles,
+        exposed_dma_cycles=result.exposed_dma_cycles,
+        macs=result.macs,
+        utilization=result.utilization,
+        group_size=getattr(result, "group_size", 1),
+        arrays=arrays,
+        key=key,
+    )
+    _REGISTRY.record_layer(record)
+    get_tracer().instant(
+        f"{source}.layer",
+        cat="metrics",
+        layer=record.name,
+        cycles=record.cycles,
+        compute_cycles=record.compute_cycles,
+        exposed_dma_cycles=record.exposed_dma_cycles,
+    )
+
+
+def record_kernel(source: str, name: str, seconds: float, tflops: float) -> None:
+    """Record a GPU kernel timing; no-op unless tracing is on."""
+    if not _tracing():
+        return
+    _REGISTRY.record_kernel(
+        KernelTimeRecord(source=source, name=name, seconds=seconds, tflops=tflops)
+    )

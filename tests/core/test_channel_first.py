@@ -97,15 +97,15 @@ def test_plan_geometry(small_spec):
     assert plan.gemm_m == small_spec.lowered_rows()
     assert plan.gemm_k == small_spec.c_in
     assert plan.gemm_n == small_spec.c_out
-    assert plan.total_macs() == small_spec.macs
+    assert plan.total_macs == small_spec.macs
 
 
 def test_plan_tile_footprint_shrinks_with_stride(small_spec):
     """The stride-insensitivity mechanism: per-tile input shrinks with the
     OFMap, quadratically in stride."""
-    base = ChannelFirstPlan.build(small_spec).tile_input_elements()
+    base = ChannelFirstPlan.build(small_spec).tile_input_elements
     spec2 = small_spec.with_stride(2)
-    strided = ChannelFirstPlan.build(spec2).tile_input_elements()
+    strided = ChannelFirstPlan.build(spec2).tile_input_elements
     ratio = base / strided
     assert ratio == pytest.approx(
         (small_spec.h_out * small_spec.w_out) / (spec2.h_out * spec2.w_out)

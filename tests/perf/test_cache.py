@@ -12,9 +12,11 @@ import pytest
 from repro.core.conv_spec import ConvSpec
 from repro.perf.cache import (
     SIM_CACHE,
+    CacheStats,
     SimulationCache,
     config_key,
     fingerprint,
+    reset_cache_stats,
     set_cache_enabled,
     spec_key,
 )
@@ -119,3 +121,50 @@ def test_renamed_layer_shares_entry_and_keeps_its_name():
     assert second.name.startswith("beta[")
     assert second.cycles == first.cycles
     assert dataclasses.replace(second, name=first.name) == first
+
+
+def test_reset_stats_keeps_entries():
+    """Per-run accounting: counters zero, the warm store stays warm."""
+    cache = SimulationCache()
+    cache.get_or_compute(("k",), lambda: "v")
+    cache.get_or_compute(("k",), lambda: "v")
+    cache.reset_stats()
+    assert (cache.stats.hits, cache.stats.misses) == (0, 0)
+    assert len(cache) == 1
+    calls = []
+    cache.get_or_compute(("k",), lambda: calls.append(1))
+    assert calls == []  # still served from the kept entry
+    assert cache.stats.hits == 1
+
+
+def test_reset_cache_stats_global():
+    SIM_CACHE.get_or_compute(("stats-probe",), lambda: 1)
+    reset_cache_stats()
+    assert (SIM_CACHE.stats.hits, SIM_CACHE.stats.misses) == (0, 0)
+
+
+def test_cache_stats_addition_aggregates_workers():
+    total = CacheStats(hits=3, misses=1, entries=4) + CacheStats(
+        hits=1, misses=3, entries=2
+    )
+    assert (total.hits, total.misses, total.entries) == (4, 4, 6)
+    assert total.hit_rate == 0.5
+    assert sum(
+        [CacheStats(1, 0, 1), CacheStats(0, 1, 1)],
+        CacheStats(0, 0, 0),
+    ) == CacheStats(1, 1, 2)
+
+
+def test_per_run_cache_stats_under_jobs():
+    """--cache-stats must report the run's own lookups, serial or pooled.
+
+    table1 is pure geometry (no simulation) — fig13 is the series that
+    actually exercises the memo.  Under --jobs the parent's cache is never
+    touched, so non-zero numbers prove the workers' stats made it home.
+    """
+    from repro.harness.runner import run_many_telemetry
+
+    _, serial = run_many_telemetry(["fig13"], quick=True, jobs=1)
+    assert serial.cache.hits + serial.cache.misses > 0
+    _, pooled = run_many_telemetry(["table1", "fig13"], quick=True, jobs=2)
+    assert pooled.cache.hits + pooled.cache.misses > 0

@@ -147,3 +147,80 @@ def test_without_drains_matches_zeroed_reference():
     zeroed = [dataclasses.replace(i, drain_cycles=0.0) for i in items]
     schedule = channel_first_schedule_arrays(spec, TPU_V2).without_drains()
     assert_results_equal(execute_schedule_arrays(schedule), execute_schedule(zeroed))
+
+
+# ---------------------------------------------------------------------------
+# Differential tests: every path into TPUSim — cold cache, cache hit (via a
+# renamed twin spec), memoization disabled, tracing enabled, and the per-item
+# reference executor — must produce identical LayerResult numbers.
+# ---------------------------------------------------------------------------
+
+
+def assert_layer_matches_reference(layer, reference):
+    assert layer.cycles == reference.total_cycles
+    assert layer.compute_cycles == reference.compute_cycles
+    assert layer.dma_cycles == reference.dma_cycles
+    assert layer.exposed_dma_cycles == reference.exposed_dma_cycles
+
+
+@pytest.fixture
+def pristine_cache():
+    from repro.perf.cache import clear_cache, set_cache_enabled
+
+    clear_cache()
+    yield
+    set_cache_enabled(True)
+    clear_cache()
+
+
+def test_conv_simulator_paths_identical_over_fuzz_corpus(pristine_cache):
+    from repro.perf.cache import clear_cache, set_cache_enabled
+    from repro.systolic.simulator import TPUSim
+    from repro.trace import tracer as trace
+
+    sim = TPUSim()
+    for spec in random_conv_specs(12, seed=2025):
+        clear_cache()
+        cold = sim.simulate_conv(spec)
+        # A renamed twin shares the memo entry (spec_key drops the name) and
+        # exercises the hit/relabel path with a distinct result object.
+        twin_spec = dataclasses.replace(spec, name="twin")
+        twin = sim.simulate_conv(twin_spec)
+        assert twin.name == twin_spec.describe()  # re-labelled on the hit
+        assert dataclasses.replace(twin, name=cold.name) == cold
+
+        set_cache_enabled(False)
+        uncached = sim.simulate_conv(spec)
+        set_cache_enabled(True)
+        assert uncached == cold
+
+        trace.enable()
+        try:
+            set_cache_enabled(False)
+            traced = sim.simulate_conv(spec)
+            set_cache_enabled(True)
+        finally:
+            trace.disable()
+            trace.get_tracer().clear()
+        assert traced == cold
+
+        reference = execute_schedule(channel_first_schedule(spec, sim.config))
+        assert_layer_matches_reference(cold, reference)
+
+
+def test_gemm_simulator_paths_identical_over_fuzz_corpus(pristine_cache):
+    from repro.perf.cache import clear_cache, set_cache_enabled
+    from repro.systolic.simulator import TPUSim
+
+    sim = TPUSim()
+    for shape in random_gemm_shapes(12, seed=41):
+        clear_cache()
+        cold = sim.simulate_gemm(shape)
+        hit = sim.simulate_gemm(shape)
+        assert hit == cold
+        set_cache_enabled(False)
+        uncached = sim.simulate_gemm(shape)
+        set_cache_enabled(True)
+        assert uncached == cold
+        reference = execute_schedule(gemm_schedule(shape, sim.config))
+        assert_layer_matches_reference(cold, reference)

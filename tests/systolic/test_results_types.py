@@ -56,3 +56,28 @@ def test_network_aggregates(result):
     assert net.total_cycles == pytest.approx(2 * result.cycles)
     assert net.total_macs == 2 * result.macs
     assert net.tflops(0.7) == pytest.approx(result.tflops, rel=0.01)
+
+
+def test_aggregate_accessors_are_properties(result):
+    """Regression: derived quantities on result/plan types must be attribute
+    access, never bound methods — ``net.total_cycles`` evaluating to a method
+    object is always truthy and silently poisons comparisons."""
+    from repro.core.channel_first import ChannelFirstPlan
+
+    net = NetworkResult(name="one", layers=[result])
+    for obj, names in (
+        (net, ("total_cycles", "total_macs")),
+        (result, ("cycles", "macs", "compute_cycles", "exposed_dma_cycles")),
+        (
+            ChannelFirstPlan.build(
+                ConvSpec(n=1, c_in=4, h_in=6, w_in=6, c_out=8,
+                         h_filter=3, w_filter=3, padding=1)
+            ),
+            ("gemm_m", "gemm_k", "gemm_n",
+             "tile_input_elements", "tile_macs", "total_macs"),
+        ),
+    ):
+        for name in names:
+            value = getattr(obj, name)
+            assert not callable(value), f"{type(obj).__name__}.{name} is a method"
+            assert isinstance(value, (int, float))

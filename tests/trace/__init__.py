@@ -1,0 +1,1 @@
+"""Trace/observability test suite."""

@@ -1,0 +1,111 @@
+"""Chrome trace export and the runner's --trace flag, end to end."""
+
+import contextlib
+import io
+import json
+
+import pytest
+
+from repro.harness import runner
+from repro.perf.cache import clear_cache
+from repro.trace.export import chrome_trace_payload, render_summary, write_chrome_trace
+from repro.trace.metrics import MetricsRegistry
+from repro.trace.tracer import Tracer
+
+
+def traced_events():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", layer="L"):
+        tracer.counter("bytes", 128)
+        with tracer.span("inner"):
+            tracer.instant("mark", cycles=7.0)
+    return tracer.drain()
+
+
+def test_chrome_payload_shape():
+    payload = chrome_trace_payload(traced_events(), metadata={"experiment": "t"})
+    assert payload["displayTimeUnit"] == "ms"
+    assert payload["otherData"] == {"experiment": "t"}
+    events = payload["traceEvents"]
+    assert {e["ph"] for e in events} == {"X", "C", "i"}
+    for event in events:
+        assert set(event) >= {"name", "cat", "ph", "ts", "pid", "tid", "args"}
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+        if event["ph"] == "i":
+            assert event["s"] == "t"
+    # Valid JSON end-to-end.
+    json.loads(json.dumps(payload))
+
+
+def test_write_chrome_trace_round_trips(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), traced_events(), metadata={"jobs": 1})
+    loaded = json.loads(path.read_text())
+    assert loaded["otherData"] == {"jobs": 1}
+    assert len(loaded["traceEvents"]) == 4  # outer, inner, counter, instant
+
+
+def test_render_summary_sections():
+    events = traced_events()
+    text = render_summary(events, MetricsRegistry())
+    assert "== trace summary ==" in text
+    assert "outer" in text and "inner" in text
+    assert "bytes" in text
+
+
+def test_counter_rollup_sums_across_tracks():
+    import dataclasses
+
+    events = traced_events()
+    # The same window re-tagged as another pid and another tid must add.
+    clones = [dataclasses.replace(e, pid=e.pid + 1) for e in events]
+    clones += [dataclasses.replace(e, tid=e.tid + 1) for e in events]
+    text = render_summary(events + clones, None)
+    assert "384" in text  # 3 x 128
+
+
+def run_main(argv):
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        code = runner.main(argv)
+    return code, out.getvalue()
+
+
+@pytest.mark.parametrize("jobs", [1, 2], ids=["serial", "pool"])
+def test_runner_trace_flag_end_to_end(tmp_path, jobs):
+    clear_cache()
+    trace_path = tmp_path / f"trace_{jobs}.json"
+    code, output = run_main(
+        ["table1", "fig13", "--quick", "--jobs", str(jobs),
+         "--trace", str(trace_path), "--cache-stats"]
+    )
+    assert code == 0
+    assert "== trace summary ==" in output
+    assert "cycle-accounting audit" in output
+    assert "all invariants hold" in output
+    assert "simulation cache:" in output
+    payload = json.loads(trace_path.read_text())
+    events = payload["traceEvents"]
+    assert events, "traced run produced no events"
+    assert payload["otherData"]["experiments"] == ["table1", "fig13"]
+    assert payload["otherData"]["jobs"] == jobs
+    # One tid track per experiment; under --jobs the pids may differ too.
+    assert {e["tid"] for e in events} == {1, 2}
+    spans = [e for e in events if e["ph"] == "X"]
+    assert any(e["name"] == "tpu.conv.simulate" for e in spans)
+
+
+def test_runner_without_trace_emits_no_summary():
+    clear_cache()
+    code, output = run_main(["table2", "--quick"])
+    assert code == 0
+    assert "trace summary" not in output
+
+
+def test_tracing_disabled_after_traced_run(tmp_path):
+    from repro.trace import tracer as trace
+
+    clear_cache()
+    run_main(["table2", "--quick", "--trace", str(tmp_path / "t.json")])
+    assert not trace.enabled()

@@ -1,0 +1,80 @@
+"""Golden-snapshot regression suite for per-layer cycle accounting.
+
+Every figure/table with a golden set is recomputed from scratch and compared
+**bit-exactly** against the frozen JSON under ``tests/trace/goldens/`` — cold
+cache, warm cache, and across a 4-worker process pool.  Any timing-model
+change that moves a single representable float fails here and must be signed
+off by regenerating (``make goldens``).
+
+The sweep is marked ``goldens`` so ``pytest -m "not goldens"`` skips it.
+"""
+
+import json
+import pathlib
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.perf.cache import clear_cache
+from repro.trace.goldens import (
+    GOLDEN_EXPERIMENTS,
+    GOLDEN_SCHEMA,
+    compute_golden,
+    diff_payloads,
+    golden_filename,
+)
+
+pytestmark = pytest.mark.goldens
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "goldens"
+
+
+def stored_payload(experiment_id):
+    path = GOLDEN_DIR / golden_filename(experiment_id)
+    assert path.exists(), (
+        f"missing golden snapshot {path}; generate it with: make goldens"
+    )
+    return json.loads(path.read_text())
+
+
+def assert_matches_stored(experiment_id, actual):
+    diffs = diff_payloads(stored_payload(experiment_id), actual)
+    assert not diffs, (
+        f"{experiment_id}: cycle accounting drifted from the golden snapshot "
+        f"({len(diffs)} field(s)):\n  " + "\n  ".join(diffs[:20])
+    )
+
+
+def test_every_experiment_has_a_snapshot():
+    stored = sorted(p.stem for p in GOLDEN_DIR.glob("*.json"))
+    assert stored == sorted(GOLDEN_EXPERIMENTS)
+
+
+@pytest.mark.parametrize("experiment_id", GOLDEN_EXPERIMENTS)
+def test_golden_cold_cache(experiment_id):
+    clear_cache()
+    payload = compute_golden(experiment_id)
+    assert payload["schema"] == GOLDEN_SCHEMA
+    assert_matches_stored(experiment_id, payload)
+
+
+@pytest.mark.parametrize("experiment_id", GOLDEN_EXPERIMENTS)
+def test_golden_warm_cache(experiment_id):
+    # First pass seeds the memo cache; the second must serve identical
+    # numbers from it (the cache-coherence side of the golden contract).
+    compute_golden(experiment_id)
+    assert_matches_stored(experiment_id, compute_golden(experiment_id))
+
+
+def test_goldens_bit_identical_across_process_pool():
+    # --jobs N semantics: workers recompute independently (their own cache,
+    # their own tracer) and must land on exactly the stored floats.
+    clear_cache()
+    serial = {eid: compute_golden(eid) for eid in GOLDEN_EXPERIMENTS}
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        parallel = dict(
+            zip(GOLDEN_EXPERIMENTS, pool.map(compute_golden, GOLDEN_EXPERIMENTS))
+        )
+    for eid in GOLDEN_EXPERIMENTS:
+        assert not diff_payloads(serial[eid], parallel[eid]), eid
+        assert_matches_stored(eid, parallel[eid])

@@ -1,0 +1,179 @@
+"""Cycle-accounting audits: the invariants, and their wiring into TPUSim."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.conv_spec import ConvSpec
+from repro.perf.cache import clear_cache
+from repro.systolic.simulator import TPUSim
+from repro.trace import tracer as trace
+from repro.trace.metrics import (
+    CycleAccountingError,
+    LayerCycleRecord,
+    MetricsRegistry,
+    audit_record,
+    get_registry,
+    set_registry,
+)
+
+
+def make_record(**overrides):
+    base = dict(
+        source="test",
+        name="layer",
+        cycles=100.0,
+        compute_cycles=80.0,
+        dma_cycles=60.0,
+        exposed_dma_cycles=20.0,
+        macs=1000,
+        utilization=0.5,
+    )
+    base.update(overrides)
+    return LayerCycleRecord(**base)
+
+
+@pytest.fixture
+def traced_registry():
+    """Enable tracing against a private tracer/registry; restore after."""
+    previous_tracer = trace.set_tracer(trace.Tracer(enabled=True))
+    registry = MetricsRegistry()
+    previous_registry = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous_registry)
+        trace.set_tracer(previous_tracer)
+
+
+# ----------------------------------------------------------------- audits
+
+
+def test_valid_record_passes():
+    audit_record(make_record())
+
+
+def test_exposure_identity_is_bit_exact():
+    with pytest.raises(CycleAccountingError, match="exposure identity"):
+        # Off by one ulp-scale amount: still rejected.
+        audit_record(make_record(exposed_dma_cycles=20.0000000001))
+
+
+def test_exposure_identity_clamps_at_zero():
+    audit_record(
+        make_record(compute_cycles=100.0, exposed_dma_cycles=0.0, dma_cycles=5.0)
+    )
+
+
+def test_exposure_identity_respects_arrays():
+    # Two arrays: exposed = cycles - compute/2.
+    audit_record(
+        make_record(compute_cycles=160.0, exposed_dma_cycles=20.0, arrays=2)
+    )
+    with pytest.raises(CycleAccountingError):
+        audit_record(
+            make_record(compute_cycles=160.0, exposed_dma_cycles=20.0, arrays=1)
+        )
+
+
+def test_negative_component_rejected():
+    with pytest.raises(CycleAccountingError, match="negative"):
+        audit_record(make_record(dma_cycles=-1.0, exposed_dma_cycles=20.0))
+
+
+def test_non_finite_rejected():
+    with pytest.raises(CycleAccountingError, match="not finite"):
+        audit_record(make_record(cycles=float("nan")))
+
+
+def test_work_must_cost_time():
+    with pytest.raises(CycleAccountingError, match="work must cost time"):
+        audit_record(
+            make_record(cycles=0.0, compute_cycles=0.0, exposed_dma_cycles=0.0,
+                        dma_cycles=0.0, macs=5, utilization=0.0)
+        )
+
+
+def test_compute_cannot_exceed_capacity():
+    with pytest.raises(CycleAccountingError, match="exceeds"):
+        audit_record(make_record(compute_cycles=150.0, exposed_dma_cycles=0.0))
+
+
+def test_utilization_bounds():
+    with pytest.raises(CycleAccountingError, match="utilization"):
+        audit_record(make_record(utilization=1.5))
+
+
+# ------------------------------------------------------- cache coherence
+
+
+def test_registry_detects_cache_divergence():
+    registry = MetricsRegistry()
+    key = ("tpu-conv", "some-key")
+    registry.record_layer(make_record(key=key))
+    # Same key, different numbers: a corrupted/stale cache entry.
+    with pytest.raises(CycleAccountingError, match="cache coherence"):
+        registry.record_layer(
+            make_record(key=key, cycles=101.0, exposed_dma_cycles=21.0)
+        )
+
+
+def test_registry_accepts_relabelled_hit():
+    registry = MetricsRegistry()
+    key = ("tpu-conv", "some-key")
+    registry.record_layer(make_record(key=key, name="original"))
+    registry.record_layer(make_record(key=key, name="renamed-twin"))
+    assert len(registry.layers) == 2
+
+
+# --------------------------------------------------------- simulator wiring
+
+
+def test_simulator_records_hit_and_miss(traced_registry):
+    clear_cache()
+    spec = ConvSpec(n=1, c_in=32, h_in=14, w_in=14, c_out=32,
+                    h_filter=3, w_filter=3, padding=1)
+    sim = TPUSim()
+    sim.simulate_conv(spec)  # miss
+    sim.simulate_conv(spec)  # hit — must record an identical entry
+    records = traced_registry.layers
+    assert len(records) == 2
+    assert records[0].identity() == records[1].identity()
+    assert records[0].key == records[1].key is not None
+    assert traced_registry.audit() == 2
+    clear_cache()
+
+
+def test_simulator_records_nothing_when_disabled():
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        assert not trace.enabled()
+        spec = ConvSpec(n=1, c_in=16, h_in=7, w_in=7, c_out=16,
+                        h_filter=3, w_filter=3, padding=1)
+        TPUSim().simulate_conv(dataclasses.replace(spec, name="untraced"))
+        assert len(registry) == 0
+    finally:
+        set_registry(previous)
+
+
+def test_by_source_aggregation(traced_registry):
+    clear_cache()
+    sim = TPUSim()
+    spec = ConvSpec(n=1, c_in=64, h_in=14, w_in=14, c_out=64,
+                    h_filter=3, w_filter=3, padding=1)
+    sim.simulate_conv(spec)
+    sim.simulate_gemm(spec.gemm_shape())
+    agg = traced_registry.by_source()
+    assert set(agg) == {"tpu.conv", "tpu.gemm"}
+    for stats in agg.values():
+        assert stats["layers"] == 1
+        assert stats["cycles"] > 0
+        assert stats["compute_cycles"] <= stats["array_cycles"]
+    clear_cache()
+
+
+def test_global_registry_clear():
+    registry = get_registry()
+    registry.clear()
+    assert len(registry) == 0

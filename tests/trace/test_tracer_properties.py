@@ -1,0 +1,157 @@
+"""Property tests for the tracer's structural invariants.
+
+- spans nest: every complete event lies inside (or equal to) its enclosing
+  span's interval, and depth returns to zero when every ``with`` exits;
+- counters are monotone non-decreasing running totals and reject negative
+  increments;
+- the disabled tracer adds no events and allocates nothing per call: the
+  module-level ``span()`` returns the shared :data:`NULL_SPAN` singleton.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.tracer import NULL_SPAN, Tracer
+
+
+# ---------------------------------------------------------------- nesting
+
+
+@st.composite
+def span_programs(draw):
+    """Random well-nested open/close programs as action strings."""
+    depth = 0
+    actions = []
+    for _ in range(draw(st.integers(min_value=0, max_value=40))):
+        if depth == 0 or draw(st.booleans()):
+            actions.append("open")
+            depth += 1
+        else:
+            actions.append("close")
+            depth -= 1
+    actions.extend(["close"] * depth)
+    return actions
+
+
+@given(span_programs())
+@settings(max_examples=100, deadline=None)
+def test_spans_nest(actions):
+    tracer = Tracer(enabled=True)
+    stack = []
+    for i, action in enumerate(actions):
+        if action == "open":
+            span = tracer.span(f"s{i}")
+            span.__enter__()
+            stack.append(span)
+        else:
+            stack.pop().__exit__(None, None, None)
+    assert tracer.open_spans == 0
+    events = tracer.events
+    # Chronological close order means an enclosing span closes after (and
+    # opened before) everything it contains: intervals must nest, never
+    # partially overlap.
+    for a in events:
+        for b in events:
+            a0, a1 = a.ts, a.ts + a.dur
+            b0, b1 = b.ts, b.ts + b.dur
+            assert (a1 <= b0) or (b1 <= a0) or (a0 <= b0 and b1 <= a1) or (
+                b0 <= a0 and a1 <= b1
+            ), f"{a.name} and {b.name} partially overlap"
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e12), max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_counters_are_monotone_running_totals(increments):
+    tracer = Tracer(enabled=True)
+    for value in increments:
+        tracer.counter("bytes", value)
+    totals = [dict(e.args)["bytes"] for e in tracer.events if e.ph == "C"]
+    assert totals == sorted(totals)  # non-decreasing
+    assert all(t >= 0 for t in totals)
+    if increments:
+        assert totals[-1] == tracer.counters["bytes"]
+
+
+@given(st.floats(max_value=0, exclude_max=True, allow_nan=False))
+@settings(max_examples=50, deadline=None)
+def test_negative_counter_increment_raises(value):
+    tracer = Tracer(enabled=True)
+    try:
+        tracer.counter("bytes", value)
+        raised = False
+    except ValueError:
+        raised = True
+    assert raised
+    assert tracer.events == []  # the rejected increment left no event behind
+
+
+# ------------------------------------------------------------ disabled path
+
+
+def test_disabled_tracer_adds_no_events():
+    tracer = Tracer(enabled=False)
+    with tracer.span("outer", layer="x"):
+        tracer.counter("bytes", 10)
+        tracer.instant("marker")
+    assert tracer.events == []
+    assert tracer.counters == {}
+
+
+def test_disabled_span_is_the_shared_singleton():
+    """Zero allocation when off: every disabled span() IS one object."""
+    tracer = Tracer(enabled=False)
+    spans = {id(tracer.span(f"s{i}", arg=i)) for i in range(100)}
+    assert spans == {id(NULL_SPAN)}
+
+
+def test_module_level_helpers_respect_disabled(monkeypatch):
+    from repro.trace import tracer as mod
+
+    fresh = Tracer(enabled=False)
+    previous = mod.set_tracer(fresh)
+    try:
+        assert mod.span("a", x=1) is NULL_SPAN
+        mod.counter("c", 5)
+        mod.instant("i")
+        assert not mod.enabled()
+        assert fresh.events == []
+    finally:
+        mod.set_tracer(previous)
+
+
+def test_enable_disable_round_trip():
+    from repro.trace import tracer as mod
+
+    fresh = Tracer(enabled=False)
+    previous = mod.set_tracer(fresh)
+    try:
+        mod.enable()
+        with mod.span("timed", tag="t"):
+            mod.counter("n", 1)
+        mod.disable()
+        with mod.span("untimed"):
+            mod.counter("n", 1)
+        events = mod.drain_events()
+    finally:
+        mod.set_tracer(previous)
+    names = [e.name for e in events]
+    assert names == ["n", "timed"]  # counter lands before the span closes
+
+
+def test_span_note_attaches_args():
+    tracer = Tracer(enabled=True)
+    with tracer.span("work") as span:
+        span.note(cycles=123.0)
+    (event,) = tracer.events
+    assert dict(event.args)["cycles"] == 123.0
+
+
+def test_events_survive_pickle_round_trip():
+    """Events cross process boundaries under --jobs N."""
+    import pickle
+
+    tracer = Tracer(enabled=True)
+    with tracer.span("w", layer="a"):
+        tracer.counter("bytes", 7)
+    events = tracer.drain()
+    assert pickle.loads(pickle.dumps(events)) == events
