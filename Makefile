@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens all
+.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history ci all
 
 export PYTHONPATH := src
 
@@ -37,5 +37,16 @@ api-doc:
 
 goldens:
 	python tools/gen_goldens.py
+
+sentinel:
+	python tools/check_regression.py
+
+bench-history: bench
+	python tools/check_regression.py --append --skip-goldens
+
+ci:
+	python -m pytest -x -q -m "not goldens" tests/
+	python -m pytest -q -m goldens tests/
+	python tools/check_regression.py
 
 all: test bench experiments

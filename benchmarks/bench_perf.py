@@ -5,8 +5,18 @@ Measures the three things the perf layer is for:
 - full-harness wall time (every experiment, results exported to a tempdir),
   as a subprocess so module import and process startup are charged honestly;
 - ``simulate_conv`` throughput in layers/second on ResNet-50 and VGG-16,
-  cold (empty cache, schedules built) and warm (pure cache hits);
+  cold (empty cache, schedules built) and warm (pure cache hits), plus the
+  **per-layer latency distribution** of both passes as Prometheus-style
+  histograms (the tail is what a fleet scheduler cares about, and a mean
+  hides it);
 - the simulation cache's hit rate over one full in-process harness run.
+
+Every run is recorded through the observability layer: the report gains a
+``provenance`` block (run id, git SHA, versions, config fingerprints —
+schema stays backward-compatible, all pre-existing keys are unchanged) and
+a ``results/<run_id>/manifest.json`` captures the run's wall/CPU/RSS.
+Feed the report to ``tools/check_regression.py`` (or ``repro sentinel``)
+to gate drift against ``BENCH_history.jsonl``.
 
 Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
 """
@@ -22,9 +32,19 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
 from repro.harness import runner  # noqa: E402
+from repro.obs import log as obs_log  # noqa: E402
+from repro.obs.manifest import RunContext  # noqa: E402
 from repro.perf.cache import cache_stats, clear_cache  # noqa: E402
 from repro.systolic.simulator import TPUSim  # noqa: E402
+from repro.trace.metrics import Histogram  # noqa: E402
 from repro.workloads.networks import resnet50, vgg16  # noqa: E402
+
+#: Per-layer simulate_conv latencies span ~1us (warm hit) to ~100ms (cold
+#: schedule build), so the buckets cover that range log-ish.
+LATENCY_BUCKETS_S = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1,
+)
 
 
 def harness_wall_seconds(repeats: int = 3) -> float:
@@ -45,7 +65,14 @@ def harness_wall_seconds(repeats: int = 3) -> float:
 
 
 def layers_per_second(layers, repeats: int = 3):
-    """(cold, warm) simulate_conv throughput over one network's conv layers."""
+    """(cold, warm, cold_hist, warm_hist) over one network's conv layers.
+
+    Throughputs stay best-of-N with *uninstrumented* inner loops — the
+    exact pre-histogram protocol, so the layers/sec series in
+    ``BENCH_history.jsonl`` stays comparable across PRs.  The latency
+    histograms come from one extra dedicated cold+warm pass whose
+    per-layer ``perf_counter`` bracketing never touches the timed loops.
+    """
     sim = TPUSim()
     cold = warm = float("inf")
     for _ in range(repeats):
@@ -58,7 +85,15 @@ def layers_per_second(layers, repeats: int = 3):
         for layer in layers:
             sim.simulate_conv(layer)
         warm = min(warm, time.perf_counter() - start)
-    return len(layers) / cold, len(layers) / warm
+    cold_hist = Histogram(LATENCY_BUCKETS_S)
+    warm_hist = Histogram(LATENCY_BUCKETS_S)
+    clear_cache()
+    for hist in (cold_hist, warm_hist):
+        for layer in layers:
+            layer_start = time.perf_counter()
+            sim.simulate_conv(layer)
+            hist.observe(time.perf_counter() - layer_start)
+    return len(layers) / cold, len(layers) / warm, cold_hist, warm_hist
 
 
 def harness_hit_rate() -> dict:
@@ -75,24 +110,47 @@ def harness_hit_rate() -> dict:
 
 
 def main() -> None:
-    resnet = resnet50(batch=8)
-    vgg = vgg16(batch=8)
-    resnet_cold, resnet_warm = layers_per_second(resnet)
-    vgg_cold, vgg_warm = layers_per_second(vgg)
-    report = {
-        "harness_wall_seconds": round(harness_wall_seconds(), 3),
-        "simulate_conv_layers_per_second": {
-            "resnet50_batch8_cold": round(resnet_cold, 1),
-            "resnet50_batch8_warm": round(resnet_warm, 1),
-            "vgg16_batch8_cold": round(vgg_cold, 1),
-            "vgg16_batch8_warm": round(vgg_warm, 1),
-        },
-        "cache": harness_hit_rate(),
-    }
-    out = REPO / "BENCH_perf.json"
-    out.write_text(json.dumps(report, indent=2) + "\n")
-    print(json.dumps(report, indent=2))
-    print(f"wrote {out}")
+    with RunContext(
+        tool="benchmarks.bench_perf", results_dir=str(REPO / "results")
+    ) as run_ctx:
+        obs_log.info("bench.start", run_id=run_ctx.run_id)
+        resnet = resnet50(batch=8)
+        vgg = vgg16(batch=8)
+        resnet_cold, resnet_warm, resnet_cold_hist, resnet_warm_hist = (
+            layers_per_second(resnet)
+        )
+        vgg_cold, vgg_warm, vgg_cold_hist, vgg_warm_hist = layers_per_second(vgg)
+        report = {
+            "harness_wall_seconds": round(harness_wall_seconds(), 3),
+            "simulate_conv_layers_per_second": {
+                "resnet50_batch8_cold": round(resnet_cold, 1),
+                "resnet50_batch8_warm": round(resnet_warm, 1),
+                "vgg16_batch8_cold": round(vgg_cold, 1),
+                "vgg16_batch8_warm": round(vgg_warm, 1),
+            },
+            "simulate_conv_latency_histograms": {
+                "resnet50_batch8_cold": resnet_cold_hist.to_dict(),
+                "resnet50_batch8_warm": resnet_warm_hist.to_dict(),
+                "vgg16_batch8_cold": vgg_cold_hist.to_dict(),
+                "vgg16_batch8_warm": vgg_warm_hist.to_dict(),
+            },
+            "cache": harness_hit_rate(),
+            "provenance": {
+                "run_id": run_ctx.run_id,
+                "git": run_ctx.manifest.provenance["git"],
+                "python": run_ctx.manifest.provenance["python"],
+                "numpy": run_ctx.manifest.provenance["numpy"],
+                "config_fingerprints": run_ctx.manifest.provenance[
+                    "config_fingerprints"
+                ],
+            },
+        }
+        out = REPO / "BENCH_perf.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        run_ctx.add_output(out)
+        print(json.dumps(report, indent=2))
+        print(f"wrote {out}")
+    print(f"manifest: {run_ctx.manifest_path}")
 
 
 if __name__ == "__main__":

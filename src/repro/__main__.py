@@ -2,13 +2,21 @@
 
 Commands:
 
-- ``experiments [ids...] [--quick] [--jobs N] [--trace [PATH]]`` —
-  regenerate the paper's tables/figures (same as
+- ``run [ids...] [--all] [--quick] [--jobs N] [--trace [PATH]] [--profile]
+  [--log-level L] [--log-file PATH] [--quiet] [--export-dir DIR]`` —
+  regenerate the paper's tables/figures with full run-level observability
+  (``experiments`` is the legacy spelling; both forward to
   ``python -m repro.harness.runner``).
 - ``simulate-conv`` — time one conv layer on TPUSim and the V100 model.
 - ``simulate-network <name> [--batch N] [--platform tpu|gpu]`` — a whole CNN.
 - ``sweep-stride`` — the stride study for one layer across all paths.
 - ``list-networks`` — the available workload tables.
+- ``sentinel`` — the perf-regression gate over ``BENCH_history.jsonl`` and
+  the trace goldens (same engine as ``tools/check_regression.py``).
+
+Every command accepts ``--log-level``/``--log-file``/``--quiet``
+(structured logging, see :mod:`repro.obs.log`) and ``--manifest`` (write a
+``results/<run_id>/manifest.json`` provenance record for the invocation).
 """
 
 from __future__ import annotations
@@ -22,6 +30,8 @@ from .gpu.channel_first import channel_first_conv_time
 from .gpu.channel_last import channel_last_conv_time
 from .gpu.config import V100
 from .gpu.blocked_gemm import gemm_kernel_time
+from .obs import log as obs_log
+from .obs.sentinel import add_sentinel_args, run_sentinel
 from .systolic.simulator import TPUSim
 from .workloads.networks import network, network_names
 
@@ -47,9 +57,32 @@ def _spec_from_args(args) -> ConvSpec:
     )
 
 
-def cmd_experiments(args) -> int:
-    from .harness.runner import main as runner_main
+def _obs_parent() -> argparse.ArgumentParser:
+    """Observability options shared by every subcommand."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--log-level",
+        choices=sorted(obs_log.LEVELS, key=obs_log.LEVELS.get),
+        default=obs_log.DEFAULT_LEVEL,
+        help="stderr diagnostics threshold (default: warning)",
+    )
+    parent.add_argument(
+        "--log-file", default=None, metavar="PATH",
+        help="append structured JSONL events to PATH",
+    )
+    parent.add_argument(
+        "--quiet", action="store_true",
+        help="suppress rendered output (artifacts still written)",
+    )
+    parent.add_argument(
+        "--manifest", action="store_true",
+        help="write results/<run_id>/manifest.json for this invocation",
+    )
+    return parent
 
+
+def _runner_argv(args) -> List[str]:
+    """Translate parsed run/experiments args back into runner argv."""
     argv: List[str] = list(args.ids)
     if args.quick:
         argv.append("--quick")
@@ -59,48 +92,87 @@ def cmd_experiments(args) -> int:
         argv.append("--cache-stats")
     if args.trace is not None:
         argv.extend(["--trace", args.trace])
-    return runner_main(argv)
+    if args.export_dir is not None:
+        argv.extend(["--export-dir", args.export_dir])
+    if getattr(args, "profile", False):
+        argv.append("--profile")
+    if args.log_level != obs_log.DEFAULT_LEVEL:
+        argv.extend(["--log-level", args.log_level])
+    if args.log_file is not None:
+        argv.extend(["--log-file", args.log_file])
+    if args.quiet:
+        argv.append("--quiet")
+    if args.manifest:
+        argv.append("--manifest")
+    if getattr(args, "results_dir", "results") != "results":
+        argv.extend(["--results-dir", args.results_dir])
+    return argv
+
+
+def cmd_experiments(args) -> int:
+    from .harness.runner import main as runner_main
+
+    return runner_main(_runner_argv(args))
 
 
 def cmd_simulate_conv(args) -> int:
     spec = _spec_from_args(args)
-    print(spec.describe())
+    obs_log.info("cli.simulate_conv", spec=spec.describe())
+    obs_log.console(spec.describe())
     tpu = TPUSim().simulate_conv(spec)
-    print(f"TPU-v2: {tpu.cycles:,.0f} cycles, {tpu.tflops:.2f} TFLOPS, "
-          f"utilization {tpu.utilization:.0%}, multi-tile={tpu.group_size}")
+    obs_log.console(
+        f"TPU-v2: {tpu.cycles:,.0f} cycles, {tpu.tflops:.2f} TFLOPS, "
+        f"utilization {tpu.utilization:.0%}, multi-tile={tpu.group_size}"
+    )
     gpu = channel_first_conv_time(spec, V100)
-    print(f"V100:   {gpu.seconds * 1e6:.1f} us, {gpu.tflops:.1f} TFLOPS, "
-          f"bound={gpu.kernel.bound}")
+    obs_log.console(
+        f"V100:   {gpu.seconds * 1e6:.1f} us, {gpu.tflops:.1f} TFLOPS, "
+        f"bound={gpu.kernel.bound}"
+    )
     return 0
 
 
 def cmd_simulate_network(args) -> int:
     layers = network(args.name, args.batch)
+    obs_log.info(
+        "cli.simulate_network", network=args.name, batch=args.batch,
+        platform=args.platform, layers=len(layers),
+    )
     if args.platform == "tpu":
         sim = TPUSim()
         net = sim.simulate_network(args.name, layers)
-        print(f"{args.name} (batch {args.batch}) on TPU-v2: "
-              f"{net.latency_s(sim.config.clock_ghz) * 1e3:.2f} ms, "
-              f"{net.tflops(sim.config.clock_ghz):.1f} TFLOPS")
+        obs_log.console(
+            f"{args.name} (batch {args.batch}) on TPU-v2: "
+            f"{net.latency_s(sim.config.clock_ghz) * 1e3:.2f} ms, "
+            f"{net.tflops(sim.config.clock_ghz):.1f} TFLOPS"
+        )
     else:
         total = sum(channel_first_conv_time(layer, V100).seconds for layer in layers)
         macs = sum(layer.macs for layer in layers)
-        print(f"{args.name} (batch {args.batch}) on V100: {total * 1e3:.2f} ms, "
-              f"{2 * macs / total / 1e12:.1f} TFLOPS")
+        obs_log.console(
+            f"{args.name} (batch {args.batch}) on V100: {total * 1e3:.2f} ms, "
+            f"{2 * macs / total / 1e12:.1f} TFLOPS"
+        )
     return 0
 
 
 def cmd_sweep_stride(args) -> int:
     base = _spec_from_args(args)
     sim = TPUSim()
-    print(f"{'stride':>6} {'TPU CF':>8} {'GPU CF':>8} {'GPU CL':>8} {'GEMM':>8}  (TFLOPS)")
+    obs_log.console(
+        f"{'stride':>6} {'TPU CF':>8} {'GPU CF':>8} {'GPU CL':>8} {'GEMM':>8}  (TFLOPS)"
+    )
     for stride in (1, 2, 4):
         spec = base.with_stride(stride)
         tpu = sim.simulate_conv(spec).tflops
         cf = channel_first_conv_time(spec, V100).tflops
         cl = channel_last_conv_time(spec, V100).tflops
         gemm = gemm_kernel_time(spec.gemm_shape(), V100).tflops
-        print(f"{stride:>6} {tpu:>8.1f} {cf:>8.1f} {cl:>8.1f} {gemm:>8.1f}")
+        obs_log.debug(
+            "cli.sweep_stride.point", stride=stride, tpu_tflops=round(tpu, 3),
+            gpu_cf_tflops=round(cf, 3), gpu_cl_tflops=round(cl, 3),
+        )
+        obs_log.console(f"{stride:>6} {tpu:>8.1f} {cf:>8.1f} {cl:>8.1f} {gemm:>8.1f}")
     return 0
 
 
@@ -108,16 +180,20 @@ def cmd_list_networks(args) -> int:
     for name in network_names():
         layers = network(name, 1)
         gflops = sum(2 * layer.macs for layer in layers) / 1e9
-        print(f"{name:>10}: {len(layers):>3} conv layers, {gflops:6.1f} GFLOPs/image")
+        obs_log.console(
+            f"{name:>10}: {len(layers):>3} conv layers, {gflops:6.1f} GFLOPs/image"
+        )
     return 0
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
-    sub = parser.add_subparsers(dest="command", required=True)
+def cmd_sentinel(args) -> int:
+    return run_sentinel(args=args)
 
-    p = sub.add_parser("experiments", help="regenerate the paper's tables/figures")
+
+def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("ids", nargs="*")
+    p.add_argument("--all", action="store_true", dest="run_all",
+                   help="run every experiment (same as passing no ids)")
     p.add_argument("--quick", action="store_true")
     p.add_argument("--jobs", type=int, default=1)
     p.add_argument("--cache-stats", action="store_true")
@@ -130,30 +206,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="write Chrome trace JSON to PATH (default trace.json) and print "
         "a cycle-accounting summary",
     )
+    p.add_argument("--export-dir", default=None)
+    p.add_argument("--profile", action="store_true",
+                   help="per-experiment wall/CPU/allocation hotspot table")
+    p.add_argument("--results-dir", default="results",
+                   help="directory for <run_id>/ observability artifacts")
     p.set_defaults(func=cmd_experiments)
 
-    p = sub.add_parser("simulate-conv", help="time one conv layer on both platforms")
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    obs_parent = _obs_parent()
+
+    p = sub.add_parser(
+        "run", parents=[obs_parent],
+        help="regenerate the paper's tables/figures (with observability)",
+    )
+    _add_runner_options(p)
+
+    p = sub.add_parser(
+        "experiments", parents=[obs_parent],
+        help="legacy alias of `run`",
+    )
+    _add_runner_options(p)
+
+    p = sub.add_parser(
+        "simulate-conv", parents=[obs_parent],
+        help="time one conv layer on both platforms",
+    )
     _add_conv_args(p)
     p.set_defaults(func=cmd_simulate_conv)
 
-    p = sub.add_parser("simulate-network", help="time a whole CNN")
+    p = sub.add_parser(
+        "simulate-network", parents=[obs_parent], help="time a whole CNN"
+    )
     p.add_argument("name")
     p.add_argument("--batch", type=int, default=8)
     p.add_argument("--platform", choices=("tpu", "gpu"), default="tpu")
     p.set_defaults(func=cmd_simulate_network)
 
-    p = sub.add_parser("sweep-stride", help="stride study for one layer")
+    p = sub.add_parser(
+        "sweep-stride", parents=[obs_parent], help="stride study for one layer"
+    )
     _add_conv_args(p)
     p.set_defaults(func=cmd_sweep_stride)
 
-    p = sub.add_parser("list-networks", help="available workload tables")
+    p = sub.add_parser(
+        "list-networks", parents=[obs_parent], help="available workload tables"
+    )
     p.set_defaults(func=cmd_list_networks)
+
+    p = sub.add_parser(
+        "sentinel", parents=[obs_parent],
+        help="perf-drift + golden bit-exactness regression gate",
+    )
+    add_sentinel_args(p)
+    p.set_defaults(func=cmd_sentinel)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    if args.func is cmd_experiments:
+        # The runner owns its observability lifecycle (it also has --profile
+        # and worker processes to coordinate); just forward the flags.
+        return args.func(args)
+    obs_active = args.log_file is not None or args.manifest
+    obs_log.configure(
+        level=args.log_level, log_file=args.log_file, quiet=args.quiet
+    )
+    if not obs_active:
+        try:
+            return args.func(args)
+        finally:
+            obs_log.shutdown()
+    from .obs.manifest import RunContext
+
+    exit_code = 1
+    try:
+        with RunContext(
+            tool=f"repro.{args.command}",
+            results_dir="results" if args.manifest else None,
+            args={"command": args.command},
+        ) as run_ctx:
+            obs_log.get_state().run_id = run_ctx.run_id
+            exit_code = args.func(args)
+            run_ctx.manifest.exit_code = exit_code
+    finally:
+        obs_log.shutdown()
+    return exit_code
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@
 from __future__ import annotations
 
 from ...analysis.validation import ValidationRun
+from ...obs import log as obs_log
 from ...oracle.tpu_oracle import TPUv2Oracle
 from ...systolic.simulator import TPUSim
 from ...workloads.networks import network, network_names
@@ -49,6 +50,10 @@ def run(quick: bool = False) -> ExperimentResult:
         measured = oracle.measured_network_cycles(layers) / clock * 1e3
         point = model_run.add(name, simulated, measured)
         table_a.add_row(name, simulated, measured, point.error_pct)
+        obs_log.debug(
+            "fig15.network", network=name, layers=len(layers),
+            error_pct=round(point.error_pct, 3),
+        )
     result.note(f"Model-level average error: {model_run.mape():.2f}%")
 
     layer_run = layerwise_validation(quick)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from ...gpu.channel_first import channel_first_conv_time
 from ...gpu.config import V100
 from ...gpu.cudnn_model import cudnn_conv_time
+from ...obs import log as obs_log
 from ...workloads.networks import network, network_names
 from ..report import ExperimentResult, Table
 
@@ -33,6 +34,10 @@ def run(quick: bool = False) -> ExperimentResult:
         ratio = ours / cudnn
         ratios.append(ratio)
         table.add_row(name, 1.0, ratio, ours * 1e3)
+        obs_log.debug(
+            "fig17.network", network=name, layers=len(layers),
+            vs_cudnn=round(ratio, 4),
+        )
     mean_ratio = sum(ratios) / len(ratios)
     result.note(
         f"Average normalized time {mean_ratio:.3f} "

@@ -16,6 +16,7 @@ from __future__ import annotations
 from ...core.conv_spec import GemmShape
 from ...gpu.config import V100
 from ...gpu.explicit import im2col_transform_time
+from ...obs import log as obs_log
 from ...oracle.gpu_oracle import GPUOracle
 from ...systolic.config import TPU_V2
 from ...systolic.simulator import TPUSim
@@ -76,6 +77,10 @@ def run(quick: bool = False) -> ExperimentResult:
             name, 1.0, gemm / implicit, transform / implicit, (gemm + transform) / implicit
         )
         gpu_overheads.append((gemm + transform) / implicit - 1.0)
+        obs_log.debug(
+            "fig2.gpu_network", network=name, layers=len(layers),
+            explicit_overhead=round(gpu_overheads[-1], 4),
+        )
     gpu_avg = sum(gpu_overheads) / len(gpu_overheads)
     result.note(
         f"GPU: explicit im2col is {100 * gpu_avg:.0f}% slower than implicit on average "

@@ -12,6 +12,7 @@ Expected shape: lowered IFMaps are ~1.5-10x the IFMaps.
 from __future__ import annotations
 
 from ...core.lowering import ifmap_mb, lowered_matrix_mb
+from ...obs import log as obs_log
 from ...workloads.networks import network
 from ..report import ExperimentResult, Table
 
@@ -36,6 +37,10 @@ def run(quick: bool = False, batch: int = 1) -> ExperimentResult:
         ifmap_row.append(ifmaps)
         lowered_row.append(lowered)
         expansions[name] = lowered / ifmaps
+        obs_log.debug(
+            "table1.network", network=name, layers=len(layers),
+            expansion_x=round(expansions[name], 2),
+        )
     table.add_row("IFMaps", *ifmap_row)
     table.add_row("Lowered IFMaps", *lowered_row)
     table.add_row("Expansion (x)", *[expansions[n] for n in TABLE1_NETWORKS])

@@ -48,7 +48,13 @@ def result_to_dict(result: ExperimentResult) -> Dict[str, object]:
 
 
 def write_results(results: Iterable[ExperimentResult], directory) -> List[pathlib.Path]:
-    """Write each result as JSON plus per-table CSVs; returns written paths."""
+    """Write each result as JSON plus per-table CSVs; returns written paths.
+
+    Table slugs are de-duplicated within each experiment (``-2``, ``-3``,
+    ... suffixes), so two tables whose titles slugify identically can never
+    overwrite each other's CSV.  Unique titles keep their unsuffixed name,
+    which is every checked-in artifact today.
+    """
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     written: List[pathlib.Path] = []
@@ -56,8 +62,15 @@ def write_results(results: Iterable[ExperimentResult], directory) -> List[pathli
         json_path = directory / f"{result.experiment_id}.json"
         json_path.write_text(json.dumps(result_to_dict(result), indent=2, default=str))
         written.append(json_path)
+        used: set = set()
         for table in result.tables:
-            csv_path = directory / f"{result.experiment_id}.{slugify(table.title)}.csv"
+            base = slugify(table.title)
+            slug, serial = base, 1
+            while slug in used:
+                serial += 1
+                slug = f"{base}-{serial}"
+            used.add(slug)
+            csv_path = directory / f"{result.experiment_id}.{slug}.csv"
             with csv_path.open("w", newline="") as handle:
                 writer = csv.writer(handle)
                 writer.writerow(table.headers)

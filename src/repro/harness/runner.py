@@ -20,6 +20,17 @@ and a text summary — span timings, counters, per-source cycle accounting
 with the full invariant audit — prints after the reports.  Under ``--jobs``
 each worker ships its events and metric records home and they are merged by
 (pid, experiment) track.
+
+Run-level observability (see :mod:`repro.obs`): ``--log-level``/
+``--log-file`` route the harness's structured events to stderr and/or a
+JSONL file, ``--quiet`` suppresses report rendering while artifacts keep
+being written, ``--profile`` prints a per-experiment wall/CPU/allocation
+hotspot table, and any of ``--log-file``/``--profile``/``--manifest``
+additionally writes ``results/<run_id>/manifest.json`` (provenance +
+resource costs) and ``results/<run_id>/metrics.prom`` (Prometheus text
+exposition).  With all of these off, stdout and every artifact are
+byte-identical to the pre-observability harness, and the runner exits
+nonzero when an experiment raises or the cycle-accounting audit fails.
 """
 
 from __future__ import annotations
@@ -27,8 +38,10 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import sys
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..obs import log as obs_log
 from ..perf.cache import SIM_CACHE, CacheStats
 
 from .experiments import (
@@ -58,6 +71,7 @@ __all__ = [
     "run_many",
     "run_many_telemetry",
     "run_all",
+    "harness_metrics",
     "main",
 ]
 
@@ -127,6 +141,11 @@ class RunTelemetry:
     layers: list = dataclasses.field(default_factory=list)
     kernels: list = dataclasses.field(default_factory=list)
     cache: CacheStats = CacheStats(hits=0, misses=0, entries=0)
+    #: ``(experiment_id, wall_seconds)`` per experiment — always measured
+    #: (two perf_counter reads), feeds the latency histogram exposition.
+    timings: list = dataclasses.field(default_factory=list)
+    #: :class:`repro.obs.PhaseSample` records; empty unless ``--profile``.
+    phases: list = dataclasses.field(default_factory=list)
 
     @classmethod
     def merge(cls, parts: Iterable["RunTelemetry"]) -> "RunTelemetry":
@@ -146,11 +165,13 @@ class RunTelemetry:
             merged.layers.extend(part.layers)
             merged.kernels.extend(part.kernels)
             merged.cache = merged.cache + part.cache
+            merged.timings.extend(part.timings)
+            merged.phases.extend(part.phases)
         return merged
 
 
 def _run_with_telemetry(
-    experiment_id: str, quick: bool, tracing: bool
+    experiment_id: str, quick: bool, tracing: bool, profiling: bool = False
 ) -> Tuple[ExperimentResult, RunTelemetry]:
     """Run one experiment with per-run cache accounting (and tracing if on).
 
@@ -159,9 +180,33 @@ def _run_with_telemetry(
     resetting them here is safe and gives each experiment a clean window.
     """
     SIM_CACHE.reset_stats()
+    obs_log.debug("experiment.start", experiment=experiment_id, quick=quick)
+    profiler = None
+    if profiling:
+        from ..obs.profiler import PhaseProfiler
+
+        profiler = PhaseProfiler()
+
+    def execute() -> Tuple[ExperimentResult, float]:
+        start = time.perf_counter()
+        if profiler is not None:
+            with profiler.phase(experiment_id):
+                result = run_experiment(experiment_id, quick=quick)
+        else:
+            result = run_experiment(experiment_id, quick=quick)
+        return result, time.perf_counter() - start
+
     if not tracing:
-        result = run_experiment(experiment_id, quick=quick)
-        return result, RunTelemetry(cache=SIM_CACHE.stats)
+        result, wall_s = execute()
+        telemetry = RunTelemetry(
+            cache=SIM_CACHE.stats,
+            timings=[(experiment_id, wall_s)],
+            phases=list(profiler.samples) if profiler is not None else [],
+        )
+        obs_log.info(
+            "experiment.done", experiment=experiment_id, wall_s=round(wall_s, 4)
+        )
+        return result, telemetry
     from ..trace import metrics as trace_metrics
     from ..trace import tracer as trace
 
@@ -171,36 +216,76 @@ def _run_with_telemetry(
     trace.enable()
     try:
         with trace.span("experiment", cat="harness", experiment=experiment_id):
-            result = run_experiment(experiment_id, quick=quick)
+            result, wall_s = execute()
         telemetry = RunTelemetry(
             events=trace.drain_events(),
             layers=registry.layers,
             kernels=registry.kernels,
             cache=SIM_CACHE.stats,
+            timings=[(experiment_id, wall_s)],
+            phases=list(profiler.samples) if profiler is not None else [],
         )
     finally:
         trace.disable()
         registry.clear()
+    obs_log.info(
+        "experiment.done", experiment=experiment_id, wall_s=round(wall_s, 4)
+    )
     return result, telemetry
 
 
 def run_many_telemetry(
-    ids: List[str], quick: bool = False, jobs: int = 1, tracing: bool = False
+    ids: List[str],
+    quick: bool = False,
+    jobs: int = 1,
+    tracing: bool = False,
+    profiling: bool = False,
 ) -> Tuple[List[ExperimentResult], RunTelemetry]:
     """Like :func:`run_many`, but also collect :class:`RunTelemetry`."""
     if jobs <= 1:
-        pairs = [_run_with_telemetry(eid, quick, tracing) for eid in ids]
+        pairs = [_run_with_telemetry(eid, quick, tracing, profiling) for eid in ids]
     else:
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = [
-                pool.submit(_run_with_telemetry, eid, quick, tracing) for eid in ids
+                pool.submit(_run_with_telemetry, eid, quick, tracing, profiling)
+                for eid in ids
             ]
             pairs = [future.result() for future in futures]
     results = [result for result, _ in pairs]
     telemetry = RunTelemetry.merge(part for _, part in pairs)
     return results, telemetry
+
+
+def harness_metrics(
+    telemetry: RunTelemetry, wall_seconds: float, failures: int = 0
+):
+    """The harness-level metric snapshot a run exposes (see repro.obs.prom).
+
+    Counters/gauges/histograms on a fresh :class:`~repro.trace.metrics.
+    MetricsRegistry`: experiments run, cache hits/misses and hit rate,
+    simulated layers per second, and the per-experiment latency
+    distribution.  Traced layer records are *not* merged here — the caller
+    decides whether to attach them (their merge re-runs the audit).
+    """
+    from ..trace.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.inc_counter("repro_experiments_total", len(telemetry.timings))
+    registry.inc_counter("repro_experiment_failures_total", failures)
+    registry.inc_counter("repro_sim_cache_hits_total", telemetry.cache.hits)
+    registry.inc_counter("repro_sim_cache_misses_total", telemetry.cache.misses)
+    lookups = telemetry.cache.hits + telemetry.cache.misses
+    registry.inc_counter("repro_layers_simulated_total", lookups)
+    registry.set_gauge("repro_sim_cache_entries", telemetry.cache.entries)
+    registry.set_gauge("repro_sim_cache_hit_rate", telemetry.cache.hit_rate)
+    registry.set_gauge("repro_run_wall_seconds", wall_seconds)
+    if wall_seconds > 0:
+        registry.set_gauge("repro_layers_per_second", lookups / wall_seconds)
+    for _, wall_s in telemetry.timings:
+        registry.observe("repro_experiment_seconds", wall_s)
+    return registry
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -233,6 +318,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also write <id>.json and per-table CSVs into this directory",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=sorted(obs_log.LEVELS, key=obs_log.LEVELS.get),
+        default=obs_log.DEFAULT_LEVEL,
+        help="stderr diagnostics threshold (default: warning — silent runs)",
+    )
+    parser.add_argument(
+        "--log-file",
+        default=None,
+        metavar="PATH",
+        help="append every structured event (debug and up) to PATH as JSONL",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress report rendering on stdout (artifacts still written)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile each experiment (wall/CPU/tracemalloc) and print a "
+        "hotspot table",
+    )
+    parser.add_argument(
+        "--manifest",
+        action="store_true",
+        help="write results/<run_id>/manifest.json + metrics.prom even "
+        "without --log-file/--profile",
+    )
+    parser.add_argument(
+        "--results-dir",
+        default="results",
+        help="directory that receives <run_id>/ observability artifacts "
+        "(default: results)",
+    )
     args = parser.parse_args(argv)
     ids = args.experiments or list(EXPERIMENTS)
     for eid in ids:
@@ -241,37 +361,121 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}"
             )
     tracing = args.trace is not None
-    results, telemetry = run_many_telemetry(
-        ids, quick=args.quick, jobs=args.jobs, tracing=tracing
+    obs_active = args.log_file is not None or args.profile or args.manifest
+    from ..obs.manifest import new_run_id, write_manifest
+
+    run_id = new_run_id()
+    obs_log.configure(
+        level=args.log_level,
+        log_file=args.log_file,
+        quiet=args.quiet,
+        run_id=run_id if obs_active else None,
     )
-    for result in results:
-        print(result.render())
-        print()
-    if tracing:
-        from ..trace.export import render_summary, write_chrome_trace
-        from ..trace.metrics import MetricsRegistry
+    run_ctx = None
+    if obs_active:  # provenance collection (git, versions) only when observed
+        from ..obs.manifest import RunContext
 
-        registry = MetricsRegistry()
-        registry.merge(telemetry.layers, telemetry.kernels)
-        write_chrome_trace(
-            args.trace,
-            telemetry.events,
-            metadata={"experiments": ids, "quick": args.quick, "jobs": args.jobs},
+        run_ctx = RunContext(
+            tool="repro.harness.runner",
+            results_dir=args.results_dir,
+            run_id=run_id,
+            args={
+                "experiments": ids,
+                "quick": args.quick,
+                "jobs": args.jobs,
+                "trace": args.trace,
+                "profile": args.profile,
+                "quiet": args.quiet,
+                "export_dir": args.export_dir,
+            },
         )
-        print(render_summary(telemetry.events, registry))
-        print(f"chrome trace written to {args.trace}")
-    if args.cache_stats:
-        stats = telemetry.cache
-        print(
-            f"simulation cache: {stats.hits} hits / {stats.misses} misses "
-            f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries)"
-        )
-    if args.export_dir:
-        from .export import write_results
+        run_ctx.__enter__()
+    obs_log.info(
+        "run.start", experiments=ids, quick=args.quick, jobs=args.jobs,
+        tracing=tracing, profiling=args.profile,
+    )
+    exit_code = 0
+    failures = 0
+    results: List[ExperimentResult] = []
+    telemetry = RunTelemetry()
+    try:
+        try:
+            results, telemetry = run_many_telemetry(
+                ids,
+                quick=args.quick,
+                jobs=args.jobs,
+                tracing=tracing,
+                profiling=args.profile,
+            )
+        except Exception as err:  # an experiment raised: fail the run loudly
+            failures += 1
+            exit_code = 1
+            obs_log.error("run.experiment_error", error=repr(err))
+            print(f"error: experiment run failed: {err!r}", file=sys.stderr)
+        for result in results:
+            obs_log.console(result.render())
+            obs_log.console()
+        if tracing and exit_code == 0:
+            from ..trace.export import render_summary, write_chrome_trace
+            from ..trace.metrics import CycleAccountingError, MetricsRegistry
 
-        paths = write_results(results, args.export_dir)
-        print(f"exported {len(paths)} files to {args.export_dir}")
-    return 0
+            write_chrome_trace(
+                args.trace,
+                telemetry.events,
+                metadata={"experiments": ids, "quick": args.quick, "jobs": args.jobs},
+            )
+            try:
+                registry = MetricsRegistry()
+                registry.merge(telemetry.layers, telemetry.kernels)
+                obs_log.console(render_summary(telemetry.events, registry))
+            except CycleAccountingError as err:
+                exit_code = 1
+                obs_log.error("run.audit_error", error=str(err))
+                print(f"error: cycle-accounting audit failed: {err}", file=sys.stderr)
+            obs_log.console(f"chrome trace written to {args.trace}")
+        if args.profile and telemetry.phases:
+            from ..obs.profiler import render_hotspots
+
+            obs_log.console(render_hotspots(telemetry.phases), kind="profile")
+        if args.cache_stats:
+            stats = telemetry.cache
+            obs_log.console(
+                f"simulation cache: {stats.hits} hits / {stats.misses} misses "
+                f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries)"
+            )
+        if args.export_dir and results:
+            from .export import write_results
+
+            paths = write_results(results, args.export_dir)
+            if run_ctx is not None:
+                for path in paths:
+                    run_ctx.add_output(path)
+            obs_log.console(f"exported {len(paths)} files to {args.export_dir}")
+    finally:
+        if run_ctx is not None:
+            from ..obs.prom import write_prometheus
+
+            manifest = run_ctx.finish(exit_code)
+            run_dir = run_ctx.run_dir
+            registry = harness_metrics(telemetry, manifest.wall_seconds or 0.0, failures)
+            prom_path = write_prometheus(
+                run_dir / "metrics.prom", registry, labels={"run_id": run_id}
+            )
+            run_ctx.add_output(prom_path)
+            if args.log_file:
+                run_ctx.add_output(args.log_file)
+            if args.trace:
+                run_ctx.add_output(args.trace)
+            manifest_path = write_manifest(manifest, run_dir)
+            obs_log.info(
+                "run.complete",
+                exit_code=exit_code,
+                wall_s=manifest.wall_seconds,
+                manifest=str(manifest_path),
+                metrics=str(prom_path),
+            )
+        obs_log.shutdown()
+    return exit_code
 
 
 if __name__ == "__main__":

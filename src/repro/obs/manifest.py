@@ -1,0 +1,227 @@
+"""Run manifests: who/what/where provenance for every observed run.
+
+A ``results/`` artifact is only as trustworthy as the record of what
+produced it.  The paper's methodology (simulator-vs-oracle error tracked
+across dozens of workload sweeps) collapses if two sweeps silently ran
+different code or configs — so every observability-enabled invocation of
+the runner, CLI or benchmark writes ``results/<run_id>/manifest.json``
+capturing:
+
+- the **code**: git SHA (+ dirty flag), Python and numpy versions, platform;
+- the **problem**: CLI argv, experiment ids, quick/jobs flags, RNG seed,
+  structural fingerprints of the accelerator configs (the same
+  :func:`repro.perf.cache.fingerprint` the memo keys use, hashed — two runs
+  with equal fingerprints priced identical machines);
+- the **cost**: wall seconds, CPU seconds, and peak RSS of the run.
+
+:class:`RunContext` is the one-stop wrapper: it stamps a run id, measures
+the run, and writes the manifest on exit.  Manifest writing is *opt-in by
+flags* (``--log-file``/``--profile``/``--manifest``) so a default run
+keeps its zero-footprint, byte-identical behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "RunManifest",
+    "RunContext",
+    "new_run_id",
+    "git_revision",
+    "config_fingerprints",
+    "collect_provenance",
+    "peak_rss_kb",
+    "write_manifest",
+]
+
+MANIFEST_SCHEMA = 1
+
+
+def new_run_id(prefix: str = "run") -> str:
+    """A sortable, collision-resistant run id: ``<prefix>-<utc stamp>-<pid>``."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    return f"{prefix}-{stamp}-{os.getpid()}"
+
+
+def git_revision(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """The current git SHA and dirty flag; degrades gracefully outside a repo."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd, capture_output=True, text=True, timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return {"sha": "unknown", "dirty": None}
+    if not sha:
+        return {"sha": "unknown", "dirty": None}
+    return {"sha": sha, "dirty": bool(status)}
+
+
+def config_fingerprints() -> Dict[str, str]:
+    """Short stable hashes of the default accelerator configs.
+
+    Built from the same structural fingerprint the simulation memo keys
+    use, so any config field change — nested sub-configs included — shows
+    up here exactly when it would invalidate cached timings.
+    """
+    from ..gpu.config import V100
+    from ..perf.cache import fingerprint
+    from ..systolic.config import TPU_V2
+
+    def digest(value: Any) -> str:
+        return hashlib.sha256(repr(fingerprint(value)).encode()).hexdigest()[:16]
+
+    return {"tpu_v2": digest(TPU_V2), "v100": digest(V100)}
+
+
+def collect_provenance(cwd: Optional[str] = None) -> Dict[str, Any]:
+    """Everything about the *environment* a manifest records."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = "unavailable"
+    return {
+        "git": git_revision(cwd),
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "platform": platform.platform(),
+        "argv": list(sys.argv),
+        "config_fingerprints": config_fingerprints(),
+    }
+
+
+def peak_rss_kb() -> Optional[int]:
+    """Peak resident set size of this process in KiB (None if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB; macOS reports bytes.
+    if sys.platform == "darwin":  # pragma: no cover
+        rss //= 1024
+    return int(rss)
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """The JSON-serialisable record of one observed run."""
+
+    run_id: str
+    tool: str
+    started_at: float
+    provenance: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    args: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    seed: Optional[int] = None
+    wall_seconds: Optional[float] = None
+    cpu_seconds: Optional[float] = None
+    max_rss_kb: Optional[int] = None
+    exit_code: Optional[int] = None
+    outputs: List[str] = dataclasses.field(default_factory=list)
+    extra: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["schema"] = MANIFEST_SCHEMA
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunManifest":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in fields})
+
+
+def write_manifest(manifest: RunManifest, directory) -> pathlib.Path:
+    """Write ``<directory>/manifest.json``; returns the path written."""
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "manifest.json"
+    path.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n")
+    return path
+
+
+class RunContext:
+    """Measure a run and (optionally) write its manifest on exit.
+
+    Usage::
+
+        with RunContext(tool="runner", results_dir="results") as run:
+            ...
+            run.add_output(path)
+        # -> results/<run.run_id>/manifest.json
+
+    Pass ``results_dir=None`` to measure without writing (the manifest is
+    still available as ``run.manifest`` for embedding elsewhere, e.g. the
+    benchmark report's provenance block).
+    """
+
+    def __init__(
+        self,
+        tool: str,
+        results_dir: Optional[str] = "results",
+        run_id: Optional[str] = None,
+        args: Optional[Dict[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.run_id = run_id or new_run_id()
+        self.results_dir = results_dir
+        self.manifest = RunManifest(
+            run_id=self.run_id,
+            tool=tool,
+            started_at=time.time(),
+            provenance=collect_provenance(),
+            args=dict(args or {}),
+            seed=seed,
+        )
+        self.manifest_path: Optional[pathlib.Path] = None
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    @property
+    def run_dir(self) -> Optional[pathlib.Path]:
+        if self.results_dir is None:
+            return None
+        return pathlib.Path(self.results_dir) / self.run_id
+
+    def add_output(self, path) -> None:
+        self.manifest.outputs.append(str(path))
+
+    def __enter__(self) -> "RunContext":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def finish(self, exit_code: Optional[int] = None) -> RunManifest:
+        """Stamp the cost fields (idempotent; called by ``__exit__``)."""
+        self.manifest.wall_seconds = round(time.perf_counter() - self._wall0, 6)
+        self.manifest.cpu_seconds = round(time.process_time() - self._cpu0, 6)
+        self.manifest.max_rss_kb = peak_rss_kb()
+        if exit_code is not None:
+            self.manifest.exit_code = exit_code
+        return self.manifest
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # A caller-recorded exit code (e.g. the CLI's) wins over the default.
+        default = 0 if exc_type is None else 1
+        self.finish(
+            exit_code=default if self.manifest.exit_code is None else None
+        )
+        if self.run_dir is not None:
+            self.manifest_path = write_manifest(self.manifest, self.run_dir)
+        return False

@@ -1,0 +1,131 @@
+"""Phase profiler: wall / CPU / allocation hotspots per harness phase.
+
+``--profile`` wraps each experiment (and any finer phase an experiment
+opts into) in a :class:`PhaseProfiler` window that samples three costs:
+
+- **wall seconds** (``time.perf_counter``) — what the operator waits for;
+- **CPU seconds** (``time.process_time``) — how much of that wait was
+  compute vs. blocking (a large gap under ``--jobs`` means the parent sat
+  idle while workers did the pricing, which is the *goal*);
+- **peak traced allocation** (``tracemalloc``) — the high-water mark of
+  Python heap allocations inside the phase, the quantity that actually
+  predicts whether a sweep fits in a worker's memory budget.
+
+``tracemalloc`` is only armed while a profiler window is open, so the
+``--profile``-off path costs nothing; samples are plain frozen dataclasses
+and pickle across the ``--jobs`` pool like every other telemetry record.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import tracemalloc
+from typing import Iterable, List, Optional
+
+__all__ = ["PhaseSample", "PhaseProfiler", "render_hotspots"]
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseSample:
+    """One profiled phase's cost triple."""
+
+    name: str
+    wall_s: float
+    cpu_s: float
+    alloc_peak_kb: float
+
+    @property
+    def cpu_fraction(self) -> float:
+        """CPU seconds per wall second (can exceed 1 with busy C extensions)."""
+        return self.cpu_s / self.wall_s if self.wall_s > 0 else 0.0
+
+
+class _PhaseWindow:
+    """Context manager recording one sample into its owning profiler."""
+
+    __slots__ = ("_profiler", "_name", "_wall0", "_cpu0", "_started_tracing")
+
+    def __init__(self, profiler: "PhaseProfiler", name: str):
+        self._profiler = profiler
+        self._name = name
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+        self._started_tracing = False
+
+    def __enter__(self) -> "_PhaseWindow":
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        else:
+            tracemalloc.reset_peak()
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        _, peak = tracemalloc.get_traced_memory()
+        if self._started_tracing:
+            tracemalloc.stop()
+        else:
+            tracemalloc.reset_peak()
+        self._profiler.samples.append(
+            PhaseSample(
+                name=self._name,
+                wall_s=wall,
+                cpu_s=cpu,
+                alloc_peak_kb=peak / 1024.0,
+            )
+        )
+        return False
+
+
+class PhaseProfiler:
+    """Collects :class:`PhaseSample` records; render with :func:`render_hotspots`."""
+
+    __slots__ = ("samples",)
+
+    def __init__(self) -> None:
+        self.samples: List[PhaseSample] = []
+
+    def phase(self, name: str) -> _PhaseWindow:
+        """``with profiler.phase("fig15"):`` — time one named region."""
+        return _PhaseWindow(self, name)
+
+    def merge(self, samples: Iterable[PhaseSample]) -> None:
+        """Fold samples shipped home from a worker process."""
+        self.samples.extend(samples)
+
+    def total_wall_s(self) -> float:
+        return sum(sample.wall_s for sample in self.samples)
+
+
+def render_hotspots(
+    samples: Iterable[PhaseSample], top: Optional[int] = None
+) -> str:
+    """The ``--profile`` hotspot table, widest wall-time phases first."""
+    ordered = sorted(samples, key=lambda s: -s.wall_s)
+    if top is not None:
+        ordered = ordered[:top]
+    lines = ["== phase profile =="]
+    if not ordered:
+        lines.append("(no phases recorded)")
+        return "\n".join(lines)
+    total_wall = sum(sample.wall_s for sample in ordered) or 1.0
+    lines.append(
+        f"{'phase':<28} {'wall s':>9} {'wall %':>7} {'cpu s':>9} "
+        f"{'cpu/wall':>9} {'alloc KiB':>11}"
+    )
+    for sample in ordered:
+        lines.append(
+            f"{sample.name:<28} {sample.wall_s:>9.3f} "
+            f"{100 * sample.wall_s / total_wall:>6.1f}% {sample.cpu_s:>9.3f} "
+            f"{sample.cpu_fraction:>9.2f} {sample.alloc_peak_kb:>11,.0f}"
+        )
+    lines.append(
+        f"{'total':<28} {sum(s.wall_s for s in ordered):>9.3f} "
+        f"{100.0:>6.1f}% {sum(s.cpu_s for s in ordered):>9.3f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Prometheus text-format exposition of harness metrics.
+
+Renders a :class:`repro.trace.MetricsRegistry` — its scalar counters,
+gauges and histograms plus aggregates derived from the per-layer cycle
+ledger — in the Prometheus `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_, the
+lingua franca of fleet monitoring.  An observability-enabled run writes
+the snapshot to ``results/<run_id>/metrics.prom``; a scrape sidecar (or a
+human with ``grep``) reads it without knowing anything about this repo.
+
+Naming follows Prometheus conventions: ``repro_`` prefix, ``_total``
+suffix on counters, base units in the name (``_seconds``, ``_cycles``).
+Output is deterministically ordered (sorted by metric name, then label)
+so two runs over the same work diff cleanly.
+"""
+
+from __future__ import annotations
+
+import math
+import pathlib
+from typing import Dict, List, Optional, Tuple
+
+from ..trace.metrics import Histogram, MetricsRegistry
+
+__all__ = ["HELP_TEXT", "render_prometheus", "write_prometheus"]
+
+#: ``# HELP`` strings for the well-known harness metrics (unknown names
+#: still render, just without a HELP line).
+HELP_TEXT: Dict[str, str] = {
+    "repro_experiments_total": "Experiments executed in this run.",
+    "repro_experiment_failures_total": "Experiments that raised in this run.",
+    "repro_layers_simulated_total": "Simulation-cache lookups (hits + misses) in this run.",
+    "repro_sim_cache_hits_total": "Simulation-cache hits in this run.",
+    "repro_sim_cache_misses_total": "Simulation-cache misses in this run.",
+    "repro_sim_cache_entries": "Entries resident in the simulation cache (summed across workers).",
+    "repro_sim_cache_hit_rate": "Simulation-cache hit rate over this run.",
+    "repro_layers_per_second": "Simulated layers (cache lookups) per wall-clock second.",
+    "repro_run_wall_seconds": "Wall-clock duration of the whole run.",
+    "repro_experiment_seconds": "Per-experiment wall-clock latency distribution.",
+    "repro_simulate_layer_seconds": "Per-layer simulate_conv wall latency distribution.",
+    "repro_layer_cycles_total": "Simulated cycles recorded, by instrumentation source.",
+    "repro_layer_exposed_dma_cycles_total": "Exposed (non-overlapped) DMA cycles, by source.",
+    "repro_layer_records_total": "Per-layer cycle records captured, by source.",
+}
+
+
+def _fmt_value(value: float) -> str:
+    """Prometheus sample value: integers without the trailing ``.0``."""
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(f'{key}="{labels[key]}"' for key in sorted(labels))
+    return "{" + body + "}"
+
+
+def _sample(
+    name: str, value: float, labels: Optional[Dict[str, str]] = None
+) -> str:
+    return f"{name}{_fmt_labels(labels)} {_fmt_value(value)}"
+
+
+def _header(lines: List[str], name: str, kind: str) -> None:
+    help_text = HELP_TEXT.get(name)
+    if help_text:
+        lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} {kind}")
+
+
+def _render_histogram(lines: List[str], name: str, histogram: Histogram) -> None:
+    _header(lines, name, "histogram")
+    for bound, cumulative in histogram.cumulative():
+        lines.append(
+            _sample(f"{name}_bucket", float(cumulative), {"le": _fmt_value(bound)})
+        )
+    lines.append(_sample(f"{name}_sum", histogram.sum))
+    lines.append(_sample(f"{name}_count", float(histogram.count)))
+
+
+def render_prometheus(
+    registry: MetricsRegistry, labels: Optional[Dict[str, str]] = None
+) -> str:
+    """The full exposition document for one registry snapshot.
+
+    ``labels`` (e.g. ``{"run_id": ...}``) are attached to every scalar
+    sample so multiple runs' files can be concatenated into one corpus.
+    """
+    lines: List[str] = []
+    for name in sorted(registry.counters):
+        _header(lines, name, "counter")
+        lines.append(_sample(name, registry.counters[name], labels))
+    for name in sorted(registry.gauges):
+        _header(lines, name, "gauge")
+        lines.append(_sample(name, registry.gauges[name], labels))
+    for name in sorted(registry.histograms):
+        _render_histogram(lines, name, registry.histograms[name])
+    # Derived series from the per-layer cycle ledger (populated under --trace).
+    by_source = registry.by_source()
+    if by_source:
+        derived: List[Tuple[str, str]] = [
+            ("repro_layer_records_total", "layers"),
+            ("repro_layer_cycles_total", "cycles"),
+            ("repro_layer_exposed_dma_cycles_total", "exposed_dma_cycles"),
+        ]
+        for metric, field in derived:
+            _header(lines, metric, "counter")
+            for source in sorted(by_source):
+                label = dict(labels or {})
+                label["source"] = source
+                lines.append(_sample(metric, float(by_source[source][field]), label))
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path, registry: MetricsRegistry, labels: Optional[Dict[str, str]] = None
+) -> pathlib.Path:
+    """Write the exposition document; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_prometheus(registry, labels))
+    return path

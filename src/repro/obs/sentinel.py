@@ -1,0 +1,270 @@
+"""Perf-regression sentinel: rolling benchmark history + drift gates.
+
+``BENCH_perf.json`` used to be a single overwritten data point — a perf
+regression only showed up if someone happened to diff it.  The sentinel
+turns it into a guarded time series:
+
+- :func:`history_entry` / :func:`append_history` — each benchmark run
+  appends one JSONL record (metrics + provenance) to ``BENCH_history.jsonl``;
+- :func:`rolling_baseline` — the per-metric **median** over the last *N*
+  history entries, which shrugs off a single noisy run the way best-of-3
+  timing does;
+- :func:`check_perf` — compares a fresh report against the baseline and
+  returns violations for any metric that moved beyond the threshold in
+  its *bad* direction (wall seconds up, layers/sec down, hit rate down);
+- :func:`check_goldens` — re-derives every golden cycle snapshot and
+  compares bit-exactly against the committed files, so a *result* change
+  can never hide behind a perf run;
+- :func:`run_sentinel` — the CLI entry shared by ``repro sentinel`` and
+  ``tools/check_regression.py``: exits nonzero on perf drift or any
+  bit-exactness break.
+
+Directions are explicit, not guessed: a metric the table below does not
+classify is recorded in history but never gated on (histogram buckets,
+entry counts and other shape-dependent fields ride along freely).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+from typing import Dict, List, Optional
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "DEFAULT_THRESHOLD",
+    "DEFAULT_WINDOW",
+    "flatten_metrics",
+    "metric_direction",
+    "history_entry",
+    "load_history",
+    "append_history",
+    "rolling_baseline",
+    "check_perf",
+    "check_goldens",
+    "run_sentinel",
+    "add_sentinel_args",
+    "build_parser",
+]
+
+HISTORY_SCHEMA = 1
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_WINDOW = 5
+
+#: Gated metrics: dotted-name prefix -> which way is *worse*.
+_DIRECTIONS = (
+    ("harness_wall_seconds", "up"),
+    ("simulate_conv_layers_per_second.", "down"),
+    ("cache.hit_rate", "down"),
+)
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"up"``/``"down"`` = which movement is a regression; None = ungated."""
+    for prefix, worse in _DIRECTIONS:
+        if name == prefix or (prefix.endswith(".") and name.startswith(prefix)):
+            return worse
+    return None
+
+
+def flatten_metrics(report: dict, prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a (possibly nested) benchmark report, dotted keys."""
+    flat: Dict[str, float] = {}
+    for key, value in report.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[name] = float(value)
+        elif isinstance(value, dict):
+            flat.update(flatten_metrics(value, prefix=f"{name}."))
+    return flat
+
+
+def history_entry(
+    report: dict,
+    provenance: Optional[dict] = None,
+    run_id: Optional[str] = None,
+    ts: Optional[float] = None,
+) -> dict:
+    """One JSONL record for ``BENCH_history.jsonl``."""
+    entry = {
+        "schema": HISTORY_SCHEMA,
+        "ts": round(time.time() if ts is None else ts, 3),
+        "run_id": run_id,
+        "metrics": flatten_metrics(report),
+    }
+    if provenance is not None:
+        entry["provenance"] = provenance
+    return entry
+
+
+def load_history(path) -> List[dict]:
+    """Parse the JSONL history; malformed lines fail loudly (they are data)."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        return []
+    entries = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}:{lineno}: corrupt history line: {err}") from None
+    return entries
+
+
+def append_history(path, entry: dict) -> pathlib.Path:
+    path = pathlib.Path(path)
+    with path.open("a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def rolling_baseline(history: List[dict], window: int = DEFAULT_WINDOW) -> Dict[str, float]:
+    """Per-metric median over the last ``window`` entries."""
+    recent = history[-window:] if window > 0 else history
+    series: Dict[str, List[float]] = {}
+    for entry in recent:
+        for name, value in entry.get("metrics", {}).items():
+            series.setdefault(name, []).append(float(value))
+    return {name: _median(values) for name, values in series.items()}
+
+
+def check_perf(
+    current: Dict[str, float],
+    baseline: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> List[str]:
+    """Violations for every gated metric that drifted the wrong way."""
+    violations: List[str] = []
+    for name in sorted(set(current) & set(baseline)):
+        worse = metric_direction(name)
+        if worse is None or baseline[name] == 0:
+            continue
+        change = (current[name] - baseline[name]) / abs(baseline[name])
+        drifted = change > threshold if worse == "up" else change < -threshold
+        if drifted:
+            violations.append(
+                f"{name}: {current[name]:.4g} vs baseline {baseline[name]:.4g} "
+                f"({change:+.1%}, threshold ±{threshold:.0%}, "
+                f"{'higher' if worse == 'up' else 'lower'} is worse)"
+            )
+    return violations
+
+
+def check_goldens(golden_dir=None, experiments=None) -> List[str]:
+    """Bit-exactness gate: recompute golden snapshots vs. the committed files."""
+    from ..trace.goldens import GOLDEN_EXPERIMENTS, compute_golden, golden_filename
+
+    if golden_dir is None:
+        golden_dir = (
+            pathlib.Path(__file__).resolve().parents[3] / "tests" / "trace" / "goldens"
+        )
+    golden_dir = pathlib.Path(golden_dir)
+    violations: List[str] = []
+    for eid in experiments or GOLDEN_EXPERIMENTS:
+        path = golden_dir / golden_filename(eid)
+        fresh = json.dumps(compute_golden(eid), indent=1, sort_keys=True) + "\n"
+        if not path.exists():
+            violations.append(f"goldens:{eid}: missing snapshot {path}")
+        elif path.read_text() != fresh:
+            violations.append(f"goldens:{eid}: bit-exactness break vs {path}")
+    return violations
+
+
+def add_sentinel_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Install the sentinel's options on ``parser`` (shared with ``repro sentinel``)."""
+    parser.add_argument(
+        "--current", default="BENCH_perf.json",
+        help="fresh benchmark report to check (default: BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--history", default="BENCH_history.jsonl",
+        help="rolling history JSONL (default: BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help=f"relative drift tolerance (default: {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--window", type=int, default=DEFAULT_WINDOW,
+        help=f"history entries in the rolling baseline (default: {DEFAULT_WINDOW})",
+    )
+    parser.add_argument(
+        "--append", action="store_true",
+        help="append the current report to the history after checking",
+    )
+    parser.add_argument(
+        "--skip-goldens", action="store_true",
+        help="skip the golden bit-exactness sweep (perf gate only)",
+    )
+    parser.add_argument(
+        "--skip-perf", action="store_true",
+        help="skip the perf gate (goldens only)",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    return add_sentinel_args(
+        argparse.ArgumentParser(
+            prog="check_regression",
+            description="Gate perf drift and golden bit-exactness for one bench run.",
+        )
+    )
+
+
+def run_sentinel(argv=None, args: Optional[argparse.Namespace] = None) -> int:
+    from . import log
+
+    if args is None:
+        args = build_parser().parse_args(argv)
+    violations: List[str] = []
+    if not args.skip_perf:
+        current_path = pathlib.Path(args.current)
+        if not current_path.exists():
+            print(f"sentinel: current report {current_path} not found")
+            return 2
+        report = json.loads(current_path.read_text())
+        current = flatten_metrics(report)
+        history = load_history(args.history)
+        if history:
+            baseline = rolling_baseline(history, window=args.window)
+            perf_violations = check_perf(current, baseline, threshold=args.threshold)
+            violations.extend(perf_violations)
+            print(
+                f"sentinel: perf gate over {min(len(history), args.window)} "
+                f"history entr{'y' if min(len(history), args.window) == 1 else 'ies'}: "
+                f"{len(perf_violations)} violation(s)"
+            )
+        else:
+            print(f"sentinel: no history at {args.history}; perf gate skipped")
+        if args.append:
+            entry = history_entry(report, provenance=report.get("provenance"))
+            append_history(args.history, entry)
+            print(f"sentinel: appended run to {args.history}")
+    if not args.skip_goldens:
+        golden_violations = check_goldens()
+        violations.extend(golden_violations)
+        print(f"sentinel: goldens gate: {len(golden_violations)} break(s)")
+    for violation in violations:
+        log.error("sentinel.violation", detail=violation)
+        print(f"REGRESSION: {violation}")
+    if violations:
+        print(f"sentinel: FAIL ({len(violations)} violation(s))")
+        return 1
+    print("sentinel: OK")
+    return 0

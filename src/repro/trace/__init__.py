@@ -34,7 +34,9 @@ from .tracer import (
     span,
 )
 from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_S,
     CycleAccountingError,
+    Histogram,
     KernelTimeRecord,
     LayerCycleRecord,
     MetricsRegistry,
@@ -60,6 +62,8 @@ __all__ = [
     "set_tracer",
     "span",
     "CycleAccountingError",
+    "DEFAULT_LATENCY_BUCKETS_S",
+    "Histogram",
     "KernelTimeRecord",
     "LayerCycleRecord",
     "MetricsRegistry",

@@ -43,6 +43,8 @@ __all__ = [
     "CycleAccountingError",
     "LayerCycleRecord",
     "KernelTimeRecord",
+    "Histogram",
+    "DEFAULT_LATENCY_BUCKETS_S",
     "audit_record",
     "MetricsRegistry",
     "get_registry",
@@ -50,6 +52,13 @@ __all__ = [
     "record_layer",
     "record_kernel",
 ]
+
+#: Default histogram buckets for harness-level latencies, in seconds
+#: (Prometheus-style upper bounds; +Inf is implicit).
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
 
 #: Relative slack for inequality audits only (sums associated differently by
 #: the reference and vectorized executors).  Identities are checked exactly.
@@ -162,15 +171,87 @@ def audit_record(record: LayerCycleRecord) -> None:
         )
 
 
-class MetricsRegistry:
-    """Accumulates audited records and cross-checks cache coherence."""
+class Histogram:
+    """A Prometheus-style histogram: bucket counts, sum and total count.
 
-    __slots__ = ("_layers", "_kernels", "_by_key")
+    Buckets are upper bounds (``le``); the implicit ``+Inf`` bucket is the
+    total count.  Observations are plain appends — no per-observation
+    allocation beyond the counter bumps — and two histograms over the same
+    buckets merge by addition (worker processes ship theirs home).
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS_S):
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.counts: List[int] = [0] * len(self.buckets)
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            raise ValueError(f"histogram observation must be finite, got {value}")
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[index] += 1
+                break
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(le, cumulative count)`` pairs, ending with ``(inf, count)``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.sum += other.sum
+        self.count += other.count
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly form (benchmark reports embed these)."""
+        return {
+            "buckets": [
+                {"le": bound, "count": count}
+                for bound, count in zip(self.buckets, self.counts)
+                if count
+            ],
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Accumulates audited records and cross-checks cache coherence.
+
+    Beyond the per-layer cycle ledger, the registry also carries
+    harness-level **scalar metrics** — named counters, gauges and
+    :class:`Histogram` s — which :mod:`repro.obs.prom` renders in
+    Prometheus text format.  Counters are monotonic by contract (negative
+    increments are rejected, same rule as the tracer's counter events).
+    """
+
+    __slots__ = ("_layers", "_kernels", "_by_key", "_counters", "_gauges", "_histograms")
 
     def __init__(self) -> None:
         self._layers: List[LayerCycleRecord] = []
         self._kernels: List[KernelTimeRecord] = []
         self._by_key: Dict[Tuple, LayerCycleRecord] = {}
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, Histogram] = {}
 
     # ---------------------------------------------------------------- record
     def record_layer(self, record: LayerCycleRecord) -> None:
@@ -206,6 +287,41 @@ class MetricsRegistry:
         for record in kernels:
             self.record_kernel(record)
 
+    # ----------------------------------------------------------- scalar metrics
+    def inc_counter(self, name: str, value: float = 1.0) -> float:
+        """Bump a monotonic counter; returns the new total."""
+        if value < 0:
+            raise ValueError(f"counter {name!r} increment must be >= 0, got {value}")
+        total = self._counters.get(name, 0.0) + value
+        self._counters[name] = total
+        return total
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a point-in-time gauge (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def observe(
+        self, name: str, value: float, buckets: Optional[Tuple[float, ...]] = None
+    ) -> None:
+        """Record one observation into the named histogram (created on first use)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(buckets or DEFAULT_LATENCY_BUCKETS_S)
+            self._histograms[name] = histogram
+        histogram.observe(value)
+
+    @property
+    def counters(self) -> Dict[str, float]:
+        return dict(self._counters)
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return dict(self._gauges)
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
     # -------------------------------------------------------------- accessors
     @property
     def layers(self) -> List[LayerCycleRecord]:
@@ -222,6 +338,9 @@ class MetricsRegistry:
         self._layers.clear()
         self._kernels.clear()
         self._by_key.clear()
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
 
     def audit(self) -> int:
         """Re-audit every stored layer record; returns how many were checked."""

@@ -44,6 +44,61 @@ def test_experiments_subcommand(capsys):
     assert "Table II" in capsys.readouterr().out
 
 
+def test_run_subcommand(capsys):
+    assert main(["run", "table2"]) == 0
+    assert "Table II" in capsys.readouterr().out
+
+
+def test_run_all_flag_parses():
+    args = build_parser().parse_args(["run", "--all", "--quick"])
+    assert args.run_all and args.quick and args.ids == []
+
+
+def test_cli_quiet_suppresses_output(capsys):
+    assert main(["simulate-conv", "--quiet"]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_log_file_records_events(tmp_path, capsys):
+    import json
+
+    log_path = tmp_path / "cli.jsonl"
+    assert main(["list-networks", "--log-file", str(log_path)]) == 0
+    capsys.readouterr()
+    events = [json.loads(line) for line in log_path.read_text().splitlines()]
+    assert any(e["event"] == "console" for e in events)
+
+
+def test_cli_manifest_written(tmp_path, monkeypatch, capsys):
+    import json
+
+    monkeypatch.chdir(tmp_path)
+    assert main(["simulate-conv", "--manifest"]) == 0
+    capsys.readouterr()
+    (run_dir,) = (tmp_path / "results").iterdir()
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert manifest["tool"] == "repro.simulate-conv"
+    assert manifest["exit_code"] == 0
+
+
+def test_sentinel_subcommand(tmp_path, capsys):
+    import json
+
+    current = tmp_path / "BENCH_perf.json"
+    current.write_text(json.dumps({"harness_wall_seconds": 1.0}))
+    history = tmp_path / "hist.jsonl"
+    history.write_text(
+        json.dumps({"schema": 1, "metrics": {"harness_wall_seconds": 1.0}}) + "\n"
+    )
+    assert main(
+        [
+            "sentinel", "--current", str(current),
+            "--history", str(history), "--skip-goldens",
+        ]
+    ) == 0
+    assert "sentinel: OK" in capsys.readouterr().out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bogus"])

@@ -2,8 +2,11 @@
 
 import csv
 import json
+import re
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.harness.export import result_to_dict, slugify, table_to_rows, write_results
 from repro.harness.report import ExperimentResult, Table
@@ -64,3 +67,56 @@ def test_real_experiment_exports_cleanly(tmp_path):
     paths = write_results([table1.run()], tmp_path)
     assert any(p.suffix == ".json" for p in paths)
     assert any(p.suffix == ".csv" for p in paths)
+
+
+def test_write_results_json_round_trips(result, tmp_path):
+    write_results([result], tmp_path)
+    loaded = json.loads((tmp_path / "demo.json").read_text())
+    assert loaded == json.loads(json.dumps(result_to_dict(result), default=str))
+
+
+@given(st.text(max_size=80))
+def test_slugify_always_filesystem_safe(title):
+    slug = slugify(title)
+    assert re.fullmatch(r"[a-z0-9]+(-[a-z0-9]+)*", slug)
+
+
+@given(st.lists(st.text(max_size=30), min_size=2, max_size=6))
+def test_colliding_slugs_never_share_a_csv(titles):
+    """However the titles collide, every table lands in its own CSV."""
+    import tempfile
+
+    result = ExperimentResult("demo", "Demo")
+    for index, title in enumerate(titles):
+        result.add_table(Table(title, ("k",))).add_row(f"row-{index}")
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = write_results([result], tmp)
+        csv_paths = [p for p in paths if p.suffix == ".csv"]
+        assert len(csv_paths) == len(titles)
+        assert len(set(csv_paths)) == len(titles)
+        for index, path in enumerate(csv_paths):
+            assert f"row-{index}" in path.read_text()
+
+
+def test_duplicate_titles_write_both_csvs(tmp_path):
+    result = ExperimentResult("demo", "Demo")
+    first = result.add_table(Table("Same: title", ("k",)))
+    first.add_row("from-first")
+    second = result.add_table(Table("same TITLE?!", ("k",)))  # same slug
+    second.add_row("from-second")
+    paths = write_results([result], tmp_path)
+    csv_paths = sorted(p for p in paths if p.suffix == ".csv")
+    assert [p.name for p in csv_paths] == [
+        "demo.same-title-2.csv",
+        "demo.same-title.csv",
+    ]
+    assert "from-first" in (tmp_path / "demo.same-title.csv").read_text()
+    assert "from-second" in (tmp_path / "demo.same-title-2.csv").read_text()
+
+
+def test_unique_titles_keep_unsuffixed_names(tmp_path):
+    result = ExperimentResult("demo", "Demo")
+    result.add_table(Table("Alpha", ("k",))).add_row(1)
+    result.add_table(Table("Beta", ("k",))).add_row(2)
+    names = {p.name for p in write_results([result], tmp_path)}
+    assert {"demo.alpha.csv", "demo.beta.csv"} <= names

@@ -1,0 +1,102 @@
+"""Structured logging: channel routing, level gating, quiet mode."""
+
+import json
+
+import pytest
+
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def reset_log_state():
+    """Every test starts and ends on the zero-cost default state."""
+    obs_log.shutdown()
+    yield
+    obs_log.shutdown()
+
+
+def test_default_state_is_silent(capsys):
+    obs_log.debug("quiet.debug", detail=1)
+    obs_log.info("quiet.info", detail=2)
+    captured = capsys.readouterr()
+    assert captured.out == ""
+    assert captured.err == ""
+
+
+def test_warning_and_error_reach_stderr_by_default(capsys):
+    obs_log.warning("loud.warning", code=7)
+    obs_log.error("loud.error")
+    err = capsys.readouterr().err
+    assert "loud.warning" in err and "code=7" in err
+    assert "loud.error" in err
+
+
+def test_log_level_opens_info_channel(capsys):
+    obs_log.configure(level="info")
+    obs_log.info("now.visible")
+    obs_log.debug("still.hidden")
+    err = capsys.readouterr().err
+    assert "now.visible" in err
+    assert "still.hidden" not in err
+
+
+def test_level_value_rejects_unknown_names():
+    with pytest.raises(KeyError):
+        obs_log.level_value("chatty")
+
+
+def test_sink_records_every_level_as_jsonl(tmp_path):
+    log_path = tmp_path / "run.jsonl"
+    obs_log.configure(log_file=str(log_path), run_id="run-test")
+    obs_log.debug("sink.debug", a=1)
+    obs_log.info("sink.info", nested={"k": [1, 2]})
+    obs_log.shutdown()
+    records = [json.loads(line) for line in log_path.read_text().splitlines()]
+    assert [r["event"] for r in records] == ["sink.debug", "sink.info"]
+    for record in records:
+        assert record["run_id"] == "run-test"
+        assert isinstance(record["ts"], float) and "pid" in record
+    assert records[0]["a"] == 1
+    assert records[1]["nested"] == {"k": [1, 2]}
+
+
+def test_sink_coerces_unserialisable_fields(tmp_path):
+    log_path = tmp_path / "run.jsonl"
+    obs_log.configure(log_file=str(log_path))
+    obs_log.info("sink.coerce", path=log_path)  # pathlib.Path -> str
+    obs_log.shutdown()
+    record = json.loads(log_path.read_text())
+    assert record["path"] == str(log_path)
+
+
+def test_console_prints_verbatim_by_default(capsys):
+    obs_log.console("Table II: results")
+    assert capsys.readouterr().out == "Table II: results\n"
+
+
+def test_quiet_drops_console_but_sink_still_records(tmp_path, capsys):
+    log_path = tmp_path / "run.jsonl"
+    obs_log.configure(log_file=str(log_path), quiet=True)
+    obs_log.console("a very long report", kind="report")
+    obs_log.shutdown()
+    assert capsys.readouterr().out == ""
+    record = json.loads(log_path.read_text())
+    assert record["event"] == "console"
+    assert record["kind"] == "report"
+    assert record["chars"] == len("a very long report")
+
+
+def test_capture_state_collects_events_without_filesystem():
+    state = obs_log.get_state()
+    state.capture = []
+    obs_log.debug("captured.event", x=3)
+    assert state.capture[0]["event"] == "captured.event"
+    assert state.capture[0]["x"] == 3
+
+
+def test_shutdown_resets_to_default():
+    obs_log.configure(level="debug", quiet=True)
+    obs_log.shutdown()
+    state = obs_log.get_state()
+    assert state.console_level == obs_log.LEVELS[obs_log.DEFAULT_LEVEL]
+    assert not state.quiet and state.sink is None

@@ -1,0 +1,104 @@
+"""Run manifests: provenance capture, RunContext lifecycle, exit codes."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    RunContext,
+    RunManifest,
+    collect_provenance,
+    config_fingerprints,
+    git_revision,
+    new_run_id,
+    peak_rss_kb,
+    write_manifest,
+)
+
+
+def test_new_run_id_shape():
+    rid = new_run_id()
+    assert re.fullmatch(r"run-\d{8}T\d{6}-\d+", rid)
+    assert new_run_id(prefix="bench").startswith("bench-")
+
+
+def test_config_fingerprints_are_stable_hex():
+    first = config_fingerprints()
+    assert set(first) == {"tpu_v2", "v100"}
+    for digest in first.values():
+        assert re.fullmatch(r"[0-9a-f]{16}", digest)
+    assert config_fingerprints() == first  # structural, not per-process
+
+
+def test_collect_provenance_keys():
+    prov = collect_provenance()
+    assert {"git", "python", "numpy", "platform", "argv", "config_fingerprints"} <= set(prov)
+    assert isinstance(prov["argv"], list)
+
+
+def test_git_revision_in_repo():
+    rev = git_revision()
+    assert rev["sha"] == "unknown" or re.fullmatch(r"[0-9a-f]{40}", rev["sha"])
+
+
+def test_peak_rss_is_positive():
+    rss = peak_rss_kb()
+    assert rss is None or rss > 0
+
+
+def test_manifest_round_trip():
+    manifest = RunManifest(
+        run_id="run-x", tool="t", started_at=1.0, seed=42, outputs=["a.json"]
+    )
+    payload = manifest.to_dict()
+    assert payload["schema"] == MANIFEST_SCHEMA
+    restored = RunManifest.from_dict(payload)  # ignores the schema key
+    assert restored == manifest
+
+
+def test_write_manifest_sorted_json(tmp_path):
+    manifest = RunManifest(run_id="run-x", tool="t", started_at=1.0)
+    path = write_manifest(manifest, tmp_path / "run-x")
+    assert path.name == "manifest.json"
+    text = path.read_text()
+    assert json.loads(text)["run_id"] == "run-x"
+    keys = list(json.loads(text))
+    assert keys == sorted(keys)
+
+
+def test_run_context_writes_manifest(tmp_path):
+    with RunContext(
+        tool="test", results_dir=str(tmp_path), args={"quick": True}, seed=7
+    ) as run:
+        run.add_output("out.json")
+    payload = json.loads(run.manifest_path.read_text())
+    assert payload["tool"] == "test"
+    assert payload["args"] == {"quick": True}
+    assert payload["seed"] == 7
+    assert payload["outputs"] == ["out.json"]
+    assert payload["exit_code"] == 0
+    assert payload["wall_seconds"] >= 0
+    assert payload["cpu_seconds"] >= 0
+    assert run.manifest_path.parent == tmp_path / run.run_id
+
+
+def test_run_context_measure_only():
+    with RunContext(tool="test", results_dir=None) as run:
+        pass
+    assert run.run_dir is None and run.manifest_path is None
+    assert run.manifest.wall_seconds is not None
+
+
+def test_run_context_exception_marks_failure(tmp_path):
+    with pytest.raises(RuntimeError):
+        with RunContext(tool="test", results_dir=str(tmp_path)) as run:
+            raise RuntimeError("boom")
+    assert json.loads(run.manifest_path.read_text())["exit_code"] == 1
+
+
+def test_run_context_caller_exit_code_wins(tmp_path):
+    with RunContext(tool="test", results_dir=str(tmp_path)) as run:
+        run.manifest.exit_code = 3
+    assert json.loads(run.manifest_path.read_text())["exit_code"] == 3

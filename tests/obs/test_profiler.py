@@ -1,0 +1,70 @@
+"""Phase profiler: sample capture, nesting, tracemalloc hygiene, rendering."""
+
+import tracemalloc
+
+from repro.obs.profiler import PhaseProfiler, PhaseSample, render_hotspots
+
+
+def test_phase_records_cost_triple():
+    profiler = PhaseProfiler()
+    with profiler.phase("work"):
+        _ = [0] * 50_000  # force some traced allocation
+    (sample,) = profiler.samples
+    assert sample.name == "work"
+    assert sample.wall_s > 0
+    assert sample.cpu_s >= 0
+    assert sample.alloc_peak_kb > 0
+
+
+def test_profiler_stops_tracemalloc_it_started():
+    assert not tracemalloc.is_tracing()
+    profiler = PhaseProfiler()
+    with profiler.phase("outer"):
+        assert tracemalloc.is_tracing()
+    assert not tracemalloc.is_tracing()
+
+
+def test_nested_phases_record_independently():
+    profiler = PhaseProfiler()
+    with profiler.phase("outer"):
+        with profiler.phase("inner"):
+            _ = [0] * 10_000
+    names = [sample.name for sample in profiler.samples]
+    assert names == ["inner", "outer"]  # inner window closes first
+    assert not tracemalloc.is_tracing()
+
+
+def test_merge_and_total_wall():
+    profiler = PhaseProfiler()
+    profiler.merge(
+        [
+            PhaseSample("a", wall_s=1.0, cpu_s=0.5, alloc_peak_kb=10.0),
+            PhaseSample("b", wall_s=2.0, cpu_s=1.0, alloc_peak_kb=20.0),
+        ]
+    )
+    assert profiler.total_wall_s() == 3.0
+
+
+def test_cpu_fraction_guards_zero_wall():
+    assert PhaseSample("z", wall_s=0.0, cpu_s=1.0, alloc_peak_kb=0.0).cpu_fraction == 0.0
+
+
+def test_render_hotspots_orders_by_wall():
+    samples = [
+        PhaseSample("fast", wall_s=0.1, cpu_s=0.1, alloc_peak_kb=1.0),
+        PhaseSample("slow", wall_s=0.9, cpu_s=0.8, alloc_peak_kb=2.0),
+    ]
+    text = render_hotspots(samples)
+    assert text.startswith("== phase profile ==")
+    assert text.index("slow") < text.index("fast")
+    assert "total" in text.splitlines()[-1]
+
+
+def test_render_hotspots_top_and_empty():
+    samples = [
+        PhaseSample(f"p{i}", wall_s=float(i + 1), cpu_s=0.0, alloc_peak_kb=0.0)
+        for i in range(5)
+    ]
+    top = render_hotspots(samples, top=2)
+    assert "p4" in top and "p3" in top and "p0" not in top
+    assert "(no phases recorded)" in render_hotspots([])

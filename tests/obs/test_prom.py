@@ -1,0 +1,84 @@
+"""Prometheus text exposition: formatting, ordering, derived series."""
+
+from repro.obs.prom import render_prometheus, write_prometheus
+from repro.trace.metrics import Histogram, LayerCycleRecord, MetricsRegistry
+
+
+def make_registry():
+    registry = MetricsRegistry()
+    registry.inc_counter("repro_experiments_total", 3)
+    registry.set_gauge("repro_sim_cache_hit_rate", 0.75)
+    registry.observe("repro_experiment_seconds", 0.2, buckets=(0.1, 1.0))
+    registry.observe("repro_experiment_seconds", 5.0, buckets=(0.1, 1.0))
+    return registry
+
+
+def test_counter_and_gauge_samples_with_labels():
+    text = render_prometheus(make_registry(), labels={"run_id": "run-1"})
+    assert "# TYPE repro_experiments_total counter" in text
+    assert '# HELP repro_experiments_total' in text
+    assert 'repro_experiments_total{run_id="run-1"} 3' in text
+    assert "# TYPE repro_sim_cache_hit_rate gauge" in text
+    assert 'repro_sim_cache_hit_rate{run_id="run-1"} 0.75' in text
+
+
+def test_integer_values_render_without_decimal_point():
+    text = render_prometheus(make_registry())
+    assert "repro_experiments_total 3\n" in text
+    assert "repro_experiments_total 3.0" not in text
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    text = render_prometheus(make_registry())
+    lines = text.splitlines()
+    assert "# TYPE repro_experiment_seconds histogram" in lines
+    assert 'repro_experiment_seconds_bucket{le="0.1"} 0' in lines
+    assert 'repro_experiment_seconds_bucket{le="1"} 1' in lines
+    assert 'repro_experiment_seconds_bucket{le="+Inf"} 2' in lines
+    assert "repro_experiment_seconds_sum 5.2" in lines
+    assert "repro_experiment_seconds_count 2" in lines
+
+
+def test_output_is_deterministically_sorted():
+    first = render_prometheus(make_registry(), labels={"run_id": "x"})
+    second = render_prometheus(make_registry(), labels={"run_id": "x"})
+    assert first == second
+    sample_names = [
+        line.split("{")[0].split(" ")[0]
+        for line in first.splitlines()
+        if not line.startswith("#")
+    ]
+    assert sample_names == sorted(sample_names, key=sample_names.index)  # stable
+
+
+def test_derived_layer_series_by_source():
+    registry = MetricsRegistry()
+    registry.merge(
+        [
+            LayerCycleRecord(
+                source="tpu",
+                name="conv1",
+                cycles=100.0,
+                compute_cycles=80.0,
+                dma_cycles=60.0,
+                exposed_dma_cycles=20.0,
+                macs=1000,
+                utilization=0.5,
+            )
+        ],
+        [],
+    )
+    text = render_prometheus(registry)
+    assert 'repro_layer_records_total{source="tpu"} 1' in text
+    assert 'repro_layer_cycles_total{source="tpu"} 100' in text
+    assert 'repro_layer_exposed_dma_cycles_total{source="tpu"} 20' in text
+
+
+def test_write_prometheus_creates_parents(tmp_path):
+    path = write_prometheus(tmp_path / "deep" / "metrics.prom", make_registry())
+    assert path.exists()
+    assert path.read_text().endswith("\n")
+
+
+def test_empty_registry_renders_empty_document():
+    assert render_prometheus(MetricsRegistry()) == "\n"

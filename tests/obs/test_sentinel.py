@@ -1,0 +1,195 @@
+"""Regression sentinel: flattening, baselines, drift gates, CLI wrapper."""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.sentinel import (
+    append_history,
+    check_perf,
+    flatten_metrics,
+    history_entry,
+    load_history,
+    metric_direction,
+    rolling_baseline,
+    run_sentinel,
+)
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def report(wall=1.0, warm=20000.0, hit_rate=0.3):
+    return {
+        "harness_wall_seconds": wall,
+        "simulate_conv_layers_per_second": {"resnet50_batch8_warm": warm},
+        "cache": {"hits": 100, "hit_rate": hit_rate},
+    }
+
+
+# ------------------------------------------------------------ flattening
+
+
+def test_flatten_metrics_dots_nested_numbers():
+    flat = flatten_metrics({"a": 1, "b": {"c": 2.5, "d": {"e": 3}}, "s": "x"})
+    assert flat == {"a": 1.0, "b.c": 2.5, "b.d.e": 3.0}
+
+
+def test_flatten_metrics_skips_bools():
+    assert flatten_metrics({"flag": True, "n": 1}) == {"n": 1.0}
+
+
+def test_metric_directions():
+    assert metric_direction("harness_wall_seconds") == "up"
+    assert (
+        metric_direction("simulate_conv_layers_per_second.vgg16_batch8_cold")
+        == "down"
+    )
+    assert metric_direction("cache.hit_rate") == "down"
+    assert metric_direction("cache.hits") is None  # shape-dependent, ungated
+
+
+# ------------------------------------------------------------ baselines
+
+
+def test_rolling_baseline_is_windowed_median():
+    history = [
+        {"metrics": {"harness_wall_seconds": w}} for w in (9.0, 1.0, 2.0, 3.0)
+    ]
+    assert rolling_baseline(history, window=3) == {"harness_wall_seconds": 2.0}
+    assert rolling_baseline(history, window=2) == {"harness_wall_seconds": 2.5}
+
+
+def test_check_perf_directions_and_threshold():
+    baseline = flatten_metrics(report())
+    assert check_perf(flatten_metrics(report(wall=1.2)), baseline) == []
+    slowed = check_perf(flatten_metrics(report(wall=1.5)), baseline)
+    assert len(slowed) == 1 and "harness_wall_seconds" in slowed[0]
+    # Faster wall / higher throughput never violates.
+    assert check_perf(flatten_metrics(report(wall=0.1, warm=90000.0)), baseline) == []
+    dropped = check_perf(flatten_metrics(report(warm=10000.0)), baseline)
+    assert len(dropped) == 1 and "layers_per_second" in dropped[0]
+    # Ungated metrics never violate however far they move.
+    wild = dict(flatten_metrics(report()), **{"cache.hits": 999999.0})
+    assert check_perf(wild, baseline) == []
+
+
+# ------------------------------------------------------------ history io
+
+
+def test_history_round_trip(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    entry = history_entry(report(), provenance={"note": "t"}, run_id="r1", ts=5.0)
+    append_history(path, entry)
+    append_history(path, history_entry(report(wall=1.1), ts=6.0))
+    loaded = load_history(path)
+    assert len(loaded) == 2
+    assert loaded[0]["run_id"] == "r1"
+    assert loaded[0]["provenance"] == {"note": "t"}
+    assert loaded[1]["metrics"]["harness_wall_seconds"] == 1.1
+
+
+def test_load_history_missing_is_empty(tmp_path):
+    assert load_history(tmp_path / "nope.jsonl") == []
+
+
+def test_load_history_fails_loudly_on_corrupt_line(tmp_path):
+    path = tmp_path / "hist.jsonl"
+    path.write_text('{"metrics": {}}\nnot json\n')
+    with pytest.raises(ValueError, match="corrupt history line"):
+        load_history(path)
+
+
+# ------------------------------------------------------------ CLI engine
+
+
+def write_artifacts(tmp_path, current, history_entries):
+    current_path = tmp_path / "BENCH_perf.json"
+    current_path.write_text(json.dumps(current))
+    history_path = tmp_path / "BENCH_history.jsonl"
+    for entry in history_entries:
+        append_history(history_path, history_entry(entry, ts=1.0))
+    return current_path, history_path
+
+
+def test_run_sentinel_ok(tmp_path, capsys):
+    current, history = write_artifacts(tmp_path, report(), [report()])
+    code = run_sentinel(
+        ["--current", str(current), "--history", str(history), "--skip-goldens"]
+    )
+    assert code == 0
+    assert "sentinel: OK" in capsys.readouterr().out
+
+
+def test_run_sentinel_flags_slowed_run(tmp_path, capsys):
+    current, history = write_artifacts(tmp_path, report(wall=2.0), [report()])
+    code = run_sentinel(
+        ["--current", str(current), "--history", str(history), "--skip-goldens"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION: harness_wall_seconds" in out
+    assert "FAIL" in out
+
+
+def test_run_sentinel_missing_current(tmp_path):
+    code = run_sentinel(
+        ["--current", str(tmp_path / "gone.json"), "--skip-goldens"]
+    )
+    assert code == 2
+
+
+def test_run_sentinel_append_records_after_check(tmp_path):
+    current, history = write_artifacts(tmp_path, report(), [report()])
+    code = run_sentinel(
+        [
+            "--current", str(current), "--history", str(history),
+            "--skip-goldens", "--append",
+        ]
+    )
+    assert code == 0
+    assert len(load_history(history)) == 2
+
+
+def test_run_sentinel_no_history_skips_perf_gate(tmp_path, capsys):
+    current = tmp_path / "BENCH_perf.json"
+    current.write_text(json.dumps(report()))
+    code = run_sentinel(
+        [
+            "--current", str(current),
+            "--history", str(tmp_path / "empty.jsonl"),
+            "--skip-goldens",
+        ]
+    )
+    assert code == 0
+    assert "perf gate skipped" in capsys.readouterr().out
+
+
+# ---------------------------------------------- tools/check_regression.py
+
+
+def run_check_regression(*argv):
+    return subprocess.run(
+        [sys.executable, str(REPO / "tools" / "check_regression.py"), *argv],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_check_regression_passes_on_committed_artifacts():
+    proc = run_check_regression("--skip-goldens")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "sentinel: OK" in proc.stdout
+
+
+def test_check_regression_fails_on_synthetically_slowed_run(tmp_path):
+    committed = json.loads((REPO / "BENCH_perf.json").read_text())
+    committed["harness_wall_seconds"] *= 2  # the synthetic regression
+    slowed = tmp_path / "BENCH_perf.json"
+    slowed.write_text(json.dumps(committed))
+    proc = run_check_regression("--current", str(slowed), "--skip-goldens")
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "REGRESSION: harness_wall_seconds" in proc.stdout

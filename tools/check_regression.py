@@ -1,0 +1,41 @@
+"""Perf-regression + golden bit-exactness gate (CI entry point).
+
+Thin wrapper over :mod:`repro.obs.sentinel` — the same engine behind
+``python -m repro sentinel``.  Compares the current ``BENCH_perf.json``
+against the rolling baseline in ``BENCH_history.jsonl`` (median of the
+last N entries, explicit worse-direction per metric) and re-derives every
+golden cycle snapshot against the committed files.  Exits nonzero on perf
+drift beyond the threshold or on any bit-exactness break.
+
+    python tools/check_regression.py                 # full gate
+    python tools/check_regression.py --skip-goldens  # perf gate only
+    python tools/check_regression.py --append        # also record this run
+
+Run from the repo root (paths default to the repo-root artifacts).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.obs.sentinel import run_sentinel  # noqa: E402  (path bootstrap above)
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    # Anchor the default artifact paths at the repo root; explicit flags in
+    # ``argv`` come later and therefore win.
+    defaults = [
+        "--current", str(ROOT / "BENCH_perf.json"),
+        "--history", str(ROOT / "BENCH_history.jsonl"),
+    ]
+    return run_sentinel(defaults + list(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())
