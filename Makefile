@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history ci all
+.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke ci all
 
 export PYTHONPATH := src
 
@@ -44,9 +44,16 @@ sentinel:
 bench-history: bench
 	python tools/check_regression.py --append --skip-goldens
 
+fault-matrix:
+	python -m pytest -q tests/resilience/
+
+fault-smoke:
+	python tools/fault_smoke.py
+
 ci:
 	python -m pytest -x -q -m "not goldens" tests/
 	python -m pytest -q -m goldens tests/
 	python tools/check_regression.py
+	python tools/fault_smoke.py
 
 all: test bench experiments

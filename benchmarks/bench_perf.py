@@ -35,6 +35,7 @@ from repro.harness import runner  # noqa: E402
 from repro.obs import log as obs_log  # noqa: E402
 from repro.obs.manifest import RunContext  # noqa: E402
 from repro.perf.cache import cache_stats, clear_cache  # noqa: E402
+from repro.resilience.atomic import atomic_write_text  # noqa: E402
 from repro.systolic.simulator import TPUSim  # noqa: E402
 from repro.trace.metrics import Histogram  # noqa: E402
 from repro.workloads.networks import resnet50, vgg16  # noqa: E402
@@ -146,7 +147,7 @@ def main() -> None:
             },
         }
         out = REPO / "BENCH_perf.json"
-        out.write_text(json.dumps(report, indent=2) + "\n")
+        atomic_write_text(out, json.dumps(report, indent=2) + "\n")
         run_ctx.add_output(out)
         print(json.dumps(report, indent=2))
         print(f"wrote {out}")

@@ -3,10 +3,12 @@
 Commands:
 
 - ``run [ids...] [--all] [--quick] [--jobs N] [--trace [PATH]] [--profile]
-  [--log-level L] [--log-file PATH] [--quiet] [--export-dir DIR]`` —
+  [--log-level L] [--log-file PATH] [--quiet] [--export-dir DIR]
+  [--checkpoint] [--resume RUN_ID] [--task-timeout S] [--max-retries N]
+  [--inject-faults SPEC]`` —
   regenerate the paper's tables/figures with full run-level observability
-  (``experiments`` is the legacy spelling; both forward to
-  ``python -m repro.harness.runner``).
+  and fault tolerance (``experiments`` is the legacy spelling; both
+  forward to ``python -m repro.harness.runner``).
 - ``simulate-conv`` — time one conv layer on TPUSim and the V100 model.
 - ``simulate-network <name> [--batch N] [--platform tpu|gpu]`` — a whole CNN.
 - ``sweep-stride`` — the stride study for one layer across all paths.
@@ -106,6 +108,18 @@ def _runner_argv(args) -> List[str]:
         argv.append("--manifest")
     if getattr(args, "results_dir", "results") != "results":
         argv.extend(["--results-dir", args.results_dir])
+    if getattr(args, "checkpoint", False):
+        argv.append("--checkpoint")
+    if getattr(args, "resume", None) is not None:
+        argv.extend(["--resume", args.resume])
+    if getattr(args, "run_id", None) is not None:
+        argv.extend(["--run-id", args.run_id])
+    if getattr(args, "task_timeout", None) is not None:
+        argv.extend(["--task-timeout", str(args.task_timeout)])
+    if getattr(args, "max_retries", None) is not None:
+        argv.extend(["--max-retries", str(args.max_retries)])
+    if getattr(args, "inject_faults", None) is not None:
+        argv.extend(["--inject-faults", args.inject_faults])
     return argv
 
 
@@ -211,6 +225,20 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
                    help="per-experiment wall/CPU/allocation hotspot table")
     p.add_argument("--results-dir", default="results",
                    help="directory for <run_id>/ observability artifacts")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="journal completed experiments for crash recovery")
+    p.add_argument("--resume", default=None, metavar="RUN_ID",
+                   help="resume a checkpointed run, skipping journaled work")
+    p.add_argument("--run-id", default=None, metavar="RUN_ID",
+                   help="pin the run id (default: generated)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-experiment wall-clock limit under --jobs")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="transient-fault retries per experiment (default 2)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault injection spec, e.g. "
+                   "'seed=7,crash@1,dram-drop=0.01'")
     p.set_defaults(func=cmd_experiments)
 
 

@@ -22,6 +22,8 @@ import dataclasses
 import math
 from typing import Iterator, Tuple
 
+from ..errors import ConfigError
+
 __all__ = ["ConvSpec", "GemmShape", "output_extent"]
 
 
@@ -32,19 +34,26 @@ def output_extent(in_extent: int, filt: int, stride: int, pad: int, dilation: in
 
         out = floor((in + 2*pad - dilation*(filt-1) - 1) / stride) + 1
 
-    Raises :class:`ValueError` if the result would be non-positive, which
-    means the filter does not fit inside the (padded) input even once.
+    Raises :class:`~repro.errors.ConfigError` (a ``ValueError``) if the
+    result would be non-positive, which means the filter does not fit
+    inside the (padded) input even once.
     """
     if in_extent <= 0 or filt <= 0:
-        raise ValueError(f"extents must be positive, got in={in_extent}, filter={filt}")
-    if stride <= 0 or dilation <= 0:
-        raise ValueError(f"stride/dilation must be positive, got {stride}/{dilation}")
+        raise ConfigError(
+            f"extents must be positive, got in={in_extent}, filter={filt}"
+        )
+    if stride <= 0:
+        raise ConfigError("stride must be positive", field="stride", value=stride)
+    if dilation <= 0:
+        raise ConfigError(
+            "dilation must be positive", field="dilation", value=dilation
+        )
     if pad < 0:
-        raise ValueError(f"padding must be non-negative, got {pad}")
+        raise ConfigError("padding must be non-negative", field="padding", value=pad)
     effective = dilation * (filt - 1) + 1
     out = (in_extent + 2 * pad - effective) // stride + 1
     if out <= 0:
-        raise ValueError(
+        raise ConfigError(
             f"filter (effective {effective}) does not fit input {in_extent} with pad {pad}"
         )
     return out
@@ -63,8 +72,12 @@ class GemmShape:
     k: int
 
     def __post_init__(self) -> None:
-        if self.m <= 0 or self.n <= 0 or self.k <= 0:
-            raise ValueError(f"GEMM dims must be positive, got {self}")
+        for field in ("m", "n", "k"):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigError(
+                    "GEMM dims must be positive", field=field, value=value
+                )
 
     @property
     def flops(self) -> int:
@@ -109,7 +122,7 @@ class ConvSpec:
         for field in ("n", "c_in", "h_in", "w_in", "c_out", "h_filter", "w_filter"):
             value = getattr(self, field)
             if value <= 0:
-                raise ValueError(f"{field} must be positive, got {value}")
+                raise ConfigError("must be positive", field=field, value=value)
         # Raises if the filter does not fit; validates stride/pad/dilation too.
         output_extent(self.h_in, self.h_filter, self.stride, self.padding, self.dilation)
         output_extent(self.w_in, self.w_filter, self.stride, self.padding, self.dilation)

@@ -1,0 +1,130 @@
+"""Structured error taxonomy shared across the repo.
+
+Two families live here because every layer needs them and they must not
+drag any heavy imports along:
+
+- **Configuration errors** — :class:`ConfigError` is what the frozen
+  config dataclasses (:class:`~repro.memory.dram.HBMConfig`,
+  :class:`~repro.memory.sram.SRAMConfig`,
+  :class:`~repro.systolic.config.TPUConfig`,
+  :class:`~repro.gpu.config.GPUConfig`, :class:`~repro.core.conv_spec.
+  ConvSpec`) raise at construction when a value is nonsensical (zero
+  channels, stride 0, non-positive clock).  It subclasses ``ValueError``
+  so long-standing ``except ValueError`` call sites keep working, but it
+  carries the offending ``field`` and ``value`` so a sweep driver can
+  report *which* knob broke instead of failing deep inside a schedule.
+
+- **Fault taxonomy** — the resilience layer (see
+  :mod:`repro.resilience`) classifies every failure it supervises into
+  :class:`TransientFault` (worth retrying: crashed/OOM'd/hung workers,
+  injected flakiness), :class:`PermanentFault` (deterministic — retrying
+  would only repeat it) or :class:`AuditFault` (the result *exists* but
+  failed a bit-exactness/cycle-accounting audit — never retried, always
+  surfaced loudly).  :func:`classify_error` maps arbitrary exceptions
+  onto the taxonomy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Type
+
+__all__ = [
+    "ReproError",
+    "ConfigError",
+    "FaultError",
+    "TransientFault",
+    "PermanentFault",
+    "AuditFault",
+    "classify_error",
+]
+
+
+class ReproError(Exception):
+    """Base class of every structured error this repo raises."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration dataclass rejected a nonsensical value.
+
+    ``field`` and ``value`` identify the offending knob when known; the
+    message always stands alone.  Subclasses ``ValueError`` for
+    backwards compatibility with existing ``except ValueError`` guards.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        field: Optional[str] = None,
+        value: Any = None,
+    ) -> None:
+        self.field = field
+        self.value = value
+        if field is not None:
+            message = f"{field}: {message} (got {value!r})"
+        super().__init__(message)
+
+
+class FaultError(ReproError):
+    """Base class of the resilience layer's fault taxonomy."""
+
+    #: Whether the supervisor may retry a task that raised this.
+    retryable = False
+
+
+class TransientFault(FaultError):
+    """A failure that may vanish on retry (crash, OOM, hang, flaky I/O)."""
+
+    retryable = True
+
+
+class PermanentFault(FaultError):
+    """A deterministic failure — retrying would only repeat it."""
+
+    retryable = False
+
+
+class AuditFault(PermanentFault):
+    """A result was produced but failed an integrity/bit-exactness audit.
+
+    Never retried: the inputs were fine, the *computation* disagreed with
+    its own invariants, which is exactly what must stop a run.
+    """
+
+
+def classify_error(err: BaseException) -> Type[FaultError]:
+    """Map an arbitrary exception onto the fault taxonomy.
+
+    Already-classified faults pass through.  Infrastructure failures that
+    a respawned worker plausibly survives — a broken process pool, an
+    OOM kill, a timeout, connection-level I/O errors — are transient;
+    audit errors from the cycle-accounting layer are :class:`AuditFault`;
+    everything else (assertion errors, bad math, ``ConfigError``...) is
+    permanent.
+    """
+    if isinstance(err, FaultError):
+        return type(err)
+    # Imported lazily: trace is optional at classification time and this
+    # module must stay dependency-free.
+    try:
+        from .trace.metrics import CycleAccountingError
+    except Exception:  # pragma: no cover - trace always importable here
+        CycleAccountingError = ()  # type: ignore[assignment]
+    if CycleAccountingError and isinstance(err, CycleAccountingError):
+        return AuditFault
+    try:
+        from concurrent.futures.process import BrokenProcessPool
+    except Exception:  # pragma: no cover
+        BrokenProcessPool = ()  # type: ignore[assignment]
+    transient_types = (
+        TimeoutError,
+        MemoryError,
+        ConnectionError,
+        BrokenPipeError,
+        EOFError,
+    )
+    if BrokenProcessPool and isinstance(err, BrokenProcessPool):
+        return TransientFault
+    if isinstance(err, transient_types):
+        return TransientFault
+    return PermanentFault

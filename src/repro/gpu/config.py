@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..errors import ConfigError
+
 __all__ = ["GPUConfig", "V100", "TileConfig"]
 
 
@@ -28,8 +30,12 @@ class TileConfig:
     tile_k: int = 32
 
     def __post_init__(self) -> None:
-        if self.tile_m <= 0 or self.tile_n <= 0 or self.tile_k <= 0:
-            raise ValueError("tile dims must be positive")
+        for field in ("tile_m", "tile_n", "tile_k"):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigError(
+                    "tile dims must be positive", field=field, value=value
+                )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,18 +77,38 @@ class GPUConfig:
     max_tbs_per_sm: int = 2
 
     def __post_init__(self) -> None:
-        if self.num_sms <= 0 or self.tensor_cores_per_sm <= 0:
-            raise ValueError("SM/TC counts must be positive")
-        if self.clock_ghz <= 0 or self.macs_per_sm_per_cycle <= 0:
-            raise ValueError("clock and MAC rate must be positive")
-        if not (0 < self.compute_efficiency <= 1 and 0 < self.bandwidth_efficiency <= 1):
-            raise ValueError("efficiencies must be in (0, 1]")
-        if not (0 < self.staging_efficiency <= 1):
-            raise ValueError("staging_efficiency must be in (0, 1]")
+        for field in ("num_sms", "tensor_cores_per_sm"):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ConfigError(
+                    "SM/TC counts must be positive", field=field, value=value
+                )
+        if self.clock_ghz <= 0:
+            raise ConfigError(
+                "clock must be positive", field="clock_ghz", value=self.clock_ghz
+            )
+        if self.macs_per_sm_per_cycle <= 0:
+            raise ConfigError(
+                "MAC rate must be positive",
+                field="macs_per_sm_per_cycle", value=self.macs_per_sm_per_cycle,
+            )
+        for field in (
+            "compute_efficiency", "bandwidth_efficiency", "staging_efficiency"
+        ):
+            value = getattr(self, field)
+            if not 0 < value <= 1:
+                raise ConfigError(
+                    "efficiencies must be in (0, 1]", field=field, value=value
+                )
         if self.l2_bytes < 0:
-            raise ValueError("l2_bytes must be non-negative")
+            raise ConfigError(
+                "l2_bytes must be non-negative", field="l2_bytes", value=self.l2_bytes
+            )
         if self.hbm_bandwidth_gbps <= 0:
-            raise ValueError("bandwidth must be positive")
+            raise ConfigError(
+                "bandwidth must be positive",
+                field="hbm_bandwidth_gbps", value=self.hbm_bandwidth_gbps,
+            )
 
     @property
     def peak_macs_per_s(self) -> float:

@@ -10,11 +10,13 @@ JSON-safe representation of an :class:`~repro.harness.report.ExperimentResult`;
 from __future__ import annotations
 
 import csv
+import io
 import json
 import pathlib
 import re
 from typing import Dict, Iterable, List
 
+from ..resilience.atomic import atomic_write_text
 from .report import ExperimentResult, Table
 
 __all__ = ["result_to_dict", "table_to_rows", "write_results", "slugify"]
@@ -60,7 +62,9 @@ def write_results(results: Iterable[ExperimentResult], directory) -> List[pathli
     written: List[pathlib.Path] = []
     for result in results:
         json_path = directory / f"{result.experiment_id}.json"
-        json_path.write_text(json.dumps(result_to_dict(result), indent=2, default=str))
+        atomic_write_text(
+            json_path, json.dumps(result_to_dict(result), indent=2, default=str)
+        )
         written.append(json_path)
         used: set = set()
         for table in result.tables:
@@ -71,9 +75,10 @@ def write_results(results: Iterable[ExperimentResult], directory) -> List[pathli
                 slug = f"{base}-{serial}"
             used.add(slug)
             csv_path = directory / f"{result.experiment_id}.{slug}.csv"
-            with csv_path.open("w", newline="") as handle:
-                writer = csv.writer(handle)
-                writer.writerow(table.headers)
-                writer.writerows(table.rows)
+            buffer = io.StringIO(newline="")  # keep csv's \r\n terminators
+            writer = csv.writer(buffer)
+            writer.writerow(table.headers)
+            writer.writerows(table.rows)
+            atomic_write_text(csv_path, buffer.getvalue())
             written.append(csv_path)
     return written

@@ -31,16 +31,30 @@ resource costs) and ``results/<run_id>/metrics.prom`` (Prometheus text
 exposition).  With all of these off, stdout and every artifact are
 byte-identical to the pre-observability harness, and the runner exits
 nonzero when an experiment raises or the cycle-accounting audit fails.
+
+Resilience (see :mod:`repro.resilience`): ``--checkpoint`` journals each
+completed experiment to ``results/<run_id>/checkpoint.jsonl`` and
+``--resume RUN_ID`` skips the journaled work of a crashed sweep (the
+reconstructed report is bit-identical; the hit count prints to stderr).
+``--jobs N`` runs are *supervised*: ``--task-timeout`` bounds each
+experiment's wall clock, ``--max-retries`` retries transient faults with
+seeded exponential backoff, crashed pools are respawned (degrading to
+serial execution if they keep dying), and ``--inject-faults SPEC``
+deterministically manufactures crashes/hangs/flaky failures plus DRAM/
+SRAM misbehaviour so every recovery path is testable.  ``Ctrl-C``
+cancels pending work, flushes the journal and exits 130.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
+from ..errors import PermanentFault
 from ..obs import log as obs_log
 from ..perf.cache import SIM_CACHE, CacheStats
 
@@ -116,11 +130,8 @@ def run_many(
     """
     if jobs <= 1:
         return [run_experiment(eid, quick=quick) for eid in ids]
-    from concurrent.futures import ProcessPoolExecutor
-
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(run_experiment, eid, quick) for eid in ids]
-        return [future.result() for future in futures]
+    results, _ = run_many_telemetry(ids, quick=quick, jobs=jobs)
+    return results
 
 
 def run_all(quick: bool = False, jobs: int = 1) -> List[ExperimentResult]:
@@ -241,21 +252,226 @@ def run_many_telemetry(
     tracing: bool = False,
     profiling: bool = False,
 ) -> Tuple[List[ExperimentResult], RunTelemetry]:
-    """Like :func:`run_many`, but also collect :class:`RunTelemetry`."""
+    """Like :func:`run_many`, but also collect :class:`RunTelemetry`.
+
+    ``jobs > 1`` fans out through the :mod:`repro.resilience` supervisor
+    with the default policy (no timeout, transient retries on); the first
+    unrecoverable failure raises, matching the serial path's fail-loud
+    contract.
+    """
     if jobs <= 1:
         pairs = [_run_with_telemetry(eid, quick, tracing, profiling) for eid in ids]
     else:
-        from concurrent.futures import ProcessPoolExecutor
+        from ..resilience.supervisor import RetryPolicy
 
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [
-                pool.submit(_run_with_telemetry, eid, quick, tracing, profiling)
-                for eid in ids
-            ]
-            pairs = [future.result() for future in futures]
+        by_id, report = _run_supervised(
+            ids, quick=quick, tracing=tracing, profiling=profiling,
+            jobs=jobs, policy=RetryPolicy(),
+        )
+        if report.failures:
+            first = report.failures[0]
+            raise PermanentFault(
+                f"experiment {first.key} failed [{first.fault}] after "
+                f"{first.attempts} attempt(s): {first.message}"
+            )
+        pairs = [by_id[eid] for eid in ids]
     results = [result for result, _ in pairs]
     telemetry = RunTelemetry.merge(part for _, part in pairs)
     return results, telemetry
+
+
+def _supervised_task(
+    payload: Tuple[str, bool, bool, bool, Optional[str], int],
+    index: int,
+    attempt: int,
+) -> Tuple[ExperimentResult, RunTelemetry]:
+    """One supervised unit of work (runs in a pool worker, or serially).
+
+    ``payload`` carries ``(experiment_id, quick, tracing, profiling,
+    fault_spec, supervisor_pid)``.  Process-level injected faults (crash/
+    hang) only fire when this is *not* the supervising process, so the
+    degraded-serial fallback can never be taken down by its own injection.
+    """
+    eid, quick, tracing, profiling, fault_spec, supervisor_pid = payload
+    if fault_spec is None:
+        return _run_with_telemetry(eid, quick, tracing, profiling)
+    from ..resilience import faults
+
+    plan = faults.FaultPlan.parse(fault_spec)
+    if os.getpid() != supervisor_pid:
+        plan.maybe_process_fault(index, attempt)
+    plan.maybe_raise_fault(index, attempt)
+    faults.activate(plan)
+    try:
+        return _run_with_telemetry(eid, quick, tracing, profiling)
+    finally:
+        faults.deactivate()
+
+
+def _run_supervised(
+    ids: List[str],
+    quick: bool,
+    tracing: bool,
+    profiling: bool,
+    jobs: int,
+    policy: Any,
+    fault_spec: Optional[str] = None,
+    on_result: Optional[Callable[[Any, Any], None]] = None,
+):
+    """Run ``ids`` under the resilience supervisor.
+
+    Returns ``({experiment_id: (result, telemetry)}, SupervisorReport)``;
+    results cover every task that succeeded (possibly after retries), the
+    report carries the failures and the error budget.
+    """
+    from ..resilience.supervisor import Supervisor, TaskSpec
+
+    tasks = [
+        TaskSpec(
+            index=i, key=eid,
+            payload=(eid, quick, tracing, profiling, fault_spec, os.getpid()),
+        )
+        for i, eid in enumerate(ids)
+    ]
+    supervisor = Supervisor(
+        _supervised_task, jobs=jobs, policy=policy, on_result=on_result
+    )
+    report = supervisor.run(tasks)
+    by_id = {tasks[index].key: value for index, value in report.results.items()}
+    return by_id, report
+
+
+def _resilient_run(
+    args: argparse.Namespace,
+    ids: List[str],
+    tracing: bool,
+    run_id: str,
+    plan: Optional[Any],
+):
+    """The checkpoint-aware, supervised execution path behind the
+    resilience flags.
+
+    Returns ``(results, telemetry, task_failures, budget, checkpoint_info)``.
+    ``results`` is ``None`` when any experiment ultimately failed —
+    ``task_failures`` then carries one :class:`~repro.resilience.supervisor.
+    TaskFailure` per casualty.  ``checkpoint_info`` is the manifest block
+    (path / hits / appended / corrupt_skipped) or ``None`` when the run is
+    not journaling.  ``KeyboardInterrupt`` propagates to the caller with
+    every already-journaled record safely fsynced.
+    """
+    from ..errors import TransientFault
+    from ..resilience.checkpoint import (
+        CheckpointJournal,
+        journal_path,
+        load_resume_state,
+        result_to_record,
+        task_fingerprint,
+    )
+    from ..resilience.supervisor import RetryPolicy
+
+    checkpointing = args.checkpoint or args.resume is not None
+    policy = RetryPolicy(
+        max_retries=args.max_retries if args.max_retries is not None else 2,
+        timeout_s=args.task_timeout,
+        seed=plan.seed if plan is not None else 0,
+    )
+    jpath = journal_path(args.results_dir, run_id)
+    fingerprints = {eid: task_fingerprint(eid, args.quick) for eid in ids}
+    completed: Dict[str, ExperimentResult] = {}
+    hits = 0
+    corrupt_skipped = 0
+    if args.resume is not None:
+        state = load_resume_state(jpath)
+        corrupt_skipped = state.corrupt
+        for eid in ids:
+            restored = state.hit(eid, fingerprints[eid])
+            if restored is not None:
+                completed[eid] = restored
+        hits = len(completed)
+        line = (
+            f"resume {run_id}: {hits} checkpoint hit(s), "
+            f"{len(ids) - hits} experiment(s) to run"
+        )
+        if corrupt_skipped:
+            line += f", {corrupt_skipped} corrupt record(s) skipped"
+        print(line, file=sys.stderr)
+    pending = [eid for eid in ids if eid not in completed]
+    journal = CheckpointJournal(jpath) if checkpointing else None
+    obs_log.info(
+        "run.resilience",
+        run_id=run_id, checkpoint=checkpointing, resume=args.resume,
+        hits=hits, pending=len(pending), timeout_s=policy.timeout_s,
+        max_retries=policy.max_retries,
+        faults=plan.spec if plan is not None else None,
+    )
+
+    def journal_result(index: int, eid: str, result: ExperimentResult) -> None:
+        if journal is None:
+            return
+        corrupt = plan is not None and plan.should_corrupt_checkpoint(index)
+        journal.append(
+            result_to_record(eid, fingerprints[eid], result), corrupt=corrupt
+        )
+
+    telemetry_parts: Dict[str, RunTelemetry] = {}
+    failures: List[Any] = []
+    budget = None
+    if pending and args.jobs > 1:
+        def on_result(task, value):
+            journal_result(task.index, task.key, value[0])
+
+        by_id, report = _run_supervised(
+            pending, quick=args.quick, tracing=tracing, profiling=args.profile,
+            jobs=args.jobs, policy=policy, fault_spec=args.inject_faults,
+            on_result=on_result,
+        )
+        failures = list(report.failures)
+        budget = report.budget
+        for eid, (result, part) in by_id.items():
+            completed[eid] = result
+            telemetry_parts[eid] = part
+    elif pending:
+        # Serial, but still journaled and fault-injectable: transient
+        # faults retry with the same deterministic backoff schedule.
+        for index, eid in enumerate(pending):
+            payload = (
+                eid, args.quick, tracing, args.profile,
+                args.inject_faults, os.getpid(),
+            )
+            attempt = 1
+            while True:
+                try:
+                    result, part = _supervised_task(payload, index, attempt)
+                    break
+                except TransientFault as err:
+                    if attempt > policy.max_retries:
+                        raise
+                    obs_log.warning(
+                        "supervisor.retry",
+                        task=eid, index=index, attempt=attempt,
+                        fault=type(err).__name__, error=str(err),
+                    )
+                    time.sleep(policy.backoff_s(index, attempt + 1))
+                    attempt += 1
+            completed[eid] = result
+            telemetry_parts[eid] = part
+            journal_result(index, eid, result)
+
+    checkpoint_info = None
+    if checkpointing:
+        checkpoint_info = {
+            "path": str(jpath),
+            "hits": hits,
+            "appended": journal.appended if journal is not None else 0,
+            "corrupt_skipped": corrupt_skipped,
+        }
+    if failures:
+        return None, RunTelemetry(), failures, budget, checkpoint_info
+    results = [completed[eid] for eid in ids]
+    telemetry = RunTelemetry.merge(
+        telemetry_parts[eid] for eid in ids if eid in telemetry_parts
+    )
+    return results, telemetry, failures, budget, checkpoint_info
 
 
 def harness_metrics(
@@ -353,6 +569,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="directory that receives <run_id>/ observability artifacts "
         "(default: results)",
     )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="journal each completed experiment to "
+        "results/<run_id>/checkpoint.jsonl (crash-safe, fsync per record)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume a checkpointed run: skip journaled experiments whose "
+        "config fingerprint still matches, run the rest, keep journaling",
+    )
+    parser.add_argument(
+        "--run-id",
+        default=None,
+        metavar="RUN_ID",
+        help="pin the run id (default: generated); --resume implies it",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-experiment wall-clock limit under --jobs; a task over "
+        "budget is killed and retried as a transient fault",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries beyond the first attempt for transient faults "
+        "(worker crashes, timeouts; default: 2)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection, e.g. "
+        "'seed=7,crash@1,flaky@2:2,dram-drop=0.01' "
+        "(see repro.resilience.faults.FaultPlan.parse)",
+    )
     args = parser.parse_args(argv)
     ids = args.experiments or list(EXPERIMENTS)
     for eid in ids:
@@ -361,10 +620,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}"
             )
     tracing = args.trace is not None
+    resilient = (
+        args.checkpoint
+        or args.resume is not None
+        or args.task_timeout is not None
+        or args.max_retries is not None
+        or args.inject_faults is not None
+    )
+    plan = None
+    if args.inject_faults is not None:
+        from ..resilience.faults import FaultPlan
+
+        try:  # validate the spec in the parent, before any work starts
+            plan = FaultPlan.parse(args.inject_faults)
+        except ValueError as err:
+            print(f"error: bad --inject-faults spec: {err}", file=sys.stderr)
+            return 2
     obs_active = args.log_file is not None or args.profile or args.manifest
     from ..obs.manifest import new_run_id, write_manifest
 
-    run_id = new_run_id()
+    run_id = args.resume or args.run_id or new_run_id()
     obs_log.configure(
         level=args.log_level,
         log_file=args.log_file,
@@ -387,6 +662,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "profile": args.profile,
                 "quiet": args.quiet,
                 "export_dir": args.export_dir,
+                "checkpoint": args.checkpoint,
+                "resume": args.resume,
+                "task_timeout": args.task_timeout,
+                "max_retries": args.max_retries,
+                "inject_faults": args.inject_faults,
             },
         )
         run_ctx.__enter__()
@@ -398,15 +678,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = 0
     results: List[ExperimentResult] = []
     telemetry = RunTelemetry()
+    budget = None
+    checkpoint_info = None
     try:
         try:
-            results, telemetry = run_many_telemetry(
-                ids,
-                quick=args.quick,
-                jobs=args.jobs,
-                tracing=tracing,
-                profiling=args.profile,
-            )
+            if resilient:
+                resilient_results, telemetry, task_failures, budget, checkpoint_info = (
+                    _resilient_run(args, ids, tracing, run_id, plan)
+                )
+                if task_failures:
+                    failures = len(task_failures)
+                    exit_code = 1
+                    for failure in task_failures:
+                        print(
+                            f"error: experiment {failure.key} failed "
+                            f"[{failure.fault}] after {failure.attempts} "
+                            f"attempt(s): {failure.message}",
+                            file=sys.stderr,
+                        )
+                else:
+                    results = resilient_results
+            else:
+                results, telemetry = run_many_telemetry(
+                    ids,
+                    quick=args.quick,
+                    jobs=args.jobs,
+                    tracing=tracing,
+                    profiling=args.profile,
+                )
+        except KeyboardInterrupt:
+            exit_code = 130
+            obs_log.error("run.interrupted")
+            if args.checkpoint or args.resume is not None:
+                print(
+                    f"interrupted: completed work is journaled; "
+                    f"rerun with --resume {run_id}",
+                    file=sys.stderr,
+                )
+            else:
+                print("interrupted", file=sys.stderr)
         except Exception as err:  # an experiment raised: fail the run loudly
             failures += 1
             exit_code = 1
@@ -455,6 +765,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if run_ctx is not None:
             from ..obs.prom import write_prometheus
 
+            if budget is not None:
+                run_ctx.manifest.extra["error_budget"] = budget.to_dict()
+            if checkpoint_info is not None:
+                run_ctx.manifest.extra["checkpoint"] = checkpoint_info
             manifest = run_ctx.finish(exit_code)
             run_dir = run_ctx.run_dir
             registry = harness_metrics(telemetry, manifest.wall_seconds or 0.0, failures)

@@ -31,6 +31,8 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..errors import ConfigError
+from ..resilience import faults as _faults
 from ..trace import tracer as trace
 
 __all__ = ["HBMConfig", "HBMModel", "TransferStats", "run_length_stats"]
@@ -56,14 +58,38 @@ class HBMConfig:
     request_latency_cycles: float = 60.0
 
     def __post_init__(self) -> None:
-        if self.peak_bandwidth_gbps <= 0 or self.clock_ghz <= 0:
-            raise ValueError("bandwidth and clock must be positive")
-        if self.channels <= 0 or self.banks_per_channel <= 0:
-            raise ValueError("channels/banks must be positive")
-        if self.burst_bytes <= 0 or self.row_bytes <= 0:
-            raise ValueError("burst/row bytes must be positive")
+        if self.peak_bandwidth_gbps <= 0:
+            raise ConfigError(
+                "bandwidth must be positive",
+                field="peak_bandwidth_gbps", value=self.peak_bandwidth_gbps,
+            )
+        if self.clock_ghz <= 0:
+            raise ConfigError(
+                "clock must be positive", field="clock_ghz", value=self.clock_ghz
+            )
+        if self.channels <= 0:
+            raise ConfigError(
+                "channel count must be positive", field="channels", value=self.channels
+            )
+        if self.banks_per_channel <= 0:
+            raise ConfigError(
+                "bank count must be positive",
+                field="banks_per_channel", value=self.banks_per_channel,
+            )
+        if self.burst_bytes <= 0:
+            raise ConfigError(
+                "burst size must be positive",
+                field="burst_bytes", value=self.burst_bytes,
+            )
+        if self.row_bytes <= 0:
+            raise ConfigError(
+                "row size must be positive", field="row_bytes", value=self.row_bytes
+            )
         if self.row_bytes % self.burst_bytes != 0:
-            raise ValueError("row_bytes must be a multiple of burst_bytes")
+            raise ConfigError(
+                "row_bytes must be a multiple of burst_bytes",
+                field="row_bytes", value=self.row_bytes,
+            )
 
     @property
     def bytes_per_cycle(self) -> float:
@@ -174,6 +200,8 @@ class HBMModel:
                     last_row[channel] = row
                 busy[channel] += cost
         total = max(busy) + cfg.request_latency_cycles
+        if _faults.ACTIVE is not None:  # injected DRAM response drops
+            total = _faults.ACTIVE.perturb_dram_cycles(total)
         if trace.enabled():
             trace.counter("hbm.trace_walks", 1, cat="hbm")
             trace.counter("hbm.trace_bursts", len(seen_bursts), cat="hbm")
@@ -216,6 +244,8 @@ class HBMModel:
         random_starts = min(stats.runs, rows_touched) * cfg.row_miss_penalty_cycles
         miss_cycles = (sequential + random_starts) / cfg.channels
         total = payload_cycles + miss_cycles + cfg.request_latency_cycles
+        if _faults.ACTIVE is not None:  # injected DRAM response drops
+            total = _faults.ACTIVE.perturb_dram_cycles(total)
         if trace.enabled():
             trace.counter("hbm.transfers", 1, cat="hbm")
             trace.counter("hbm.bytes", stats.bytes, cat="hbm")

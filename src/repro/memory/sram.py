@@ -29,6 +29,9 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from ..errors import ConfigError
+from ..resilience import faults as _faults
+
 __all__ = ["SRAMConfig", "SRAMModel"]
 
 
@@ -62,8 +65,11 @@ class SRAMConfig:
 
     def __post_init__(self) -> None:
         for field in dataclasses.fields(self):
-            if getattr(self, field.name) <= 0:
-                raise ValueError(f"{field.name} must be positive")
+            value = getattr(self, field.name)
+            if value <= 0:
+                raise ConfigError(
+                    "must be positive", field=field.name, value=value
+                )
 
 
 class SRAMModel:
@@ -109,8 +115,17 @@ class SRAMModel:
         """Read latency; sqrt-of-capacity wire-dominated scaling."""
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
-        kb = capacity_bytes / 1024.0
-        return self.config.latency_base_ns + self.config.latency_sqrt_coeff_ns * math.sqrt(kb)
+        effective = float(capacity_bytes)
+        if _faults.ACTIVE is not None:  # injected capacity-assumption flip
+            effective = _faults.ACTIVE.sram_effective_capacity(capacity_bytes)
+        kb = effective / 1024.0
+        latency = (
+            self.config.latency_base_ns
+            + self.config.latency_sqrt_coeff_ns * math.sqrt(kb)
+        )
+        if _faults.ACTIVE is not None:  # injected latency flip
+            latency = _faults.ACTIVE.perturb_sram_latency(latency)
+        return latency
 
     def access_latency_cycles(self, capacity_bytes: int, clock_ghz: float) -> float:
         if clock_ghz <= 0:

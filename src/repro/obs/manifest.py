@@ -148,11 +148,15 @@ class RunManifest:
 
 
 def write_manifest(manifest: RunManifest, directory) -> pathlib.Path:
-    """Write ``<directory>/manifest.json``; returns the path written."""
+    """Write ``<directory>/manifest.json`` atomically; returns the path."""
+    from ..resilience.atomic import atomic_write_text
+
     directory = pathlib.Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / "manifest.json"
-    path.write_text(json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n")
+    atomic_write_text(
+        path, json.dumps(manifest.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
     return path
 
 

@@ -120,8 +120,10 @@ def render_prometheus(
 def write_prometheus(
     path, registry: MetricsRegistry, labels: Optional[Dict[str, str]] = None
 ) -> pathlib.Path:
-    """Write the exposition document; returns the path written."""
+    """Write the exposition document atomically; returns the path written."""
+    from ..resilience.atomic import atomic_write_text
+
     path = pathlib.Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(render_prometheus(registry, labels))
+    atomic_write_text(path, render_prometheus(registry, labels))
     return path

@@ -119,9 +119,11 @@ def load_history(path) -> List[dict]:
 
 
 def append_history(path, entry: dict) -> pathlib.Path:
+    """Append one record crash-safely (single write + fsync, no torn tail)."""
+    from ..resilience.atomic import crash_safe_append
+
     path = pathlib.Path(path)
-    with path.open("a") as handle:
-        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    crash_safe_append(path, json.dumps(entry, sort_keys=True))
     return path
 
 

@@ -1,0 +1,79 @@
+"""Crash-safe filesystem primitives: atomic replace + durable appends.
+
+Every ``results/`` artifact this harness writes must survive a ``kill -9``
+mid-write without leaving a torn file behind:
+
+- :func:`atomic_write_text` / :func:`atomic_write_bytes` — write to a
+  temporary file in the *same directory* (same filesystem, so the final
+  rename is atomic), fsync it, then ``os.replace`` onto the target.  A
+  reader therefore only ever sees the old complete file or the new
+  complete file, never a prefix.
+- :func:`crash_safe_append` — append one complete line with an
+  ``O_APPEND`` write followed by flush (+ optional fsync).  Appends of a
+  single small line are effectively atomic on POSIX, so a journal either
+  gains the whole record or none of it; a torn tail can only be the very
+  last line, which journal readers skip-and-warn on.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import tempfile
+from typing import Union
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "crash_safe_append",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def atomic_write_bytes(path: PathLike, data: bytes) -> pathlib.Path:
+    """Atomically replace ``path`` with ``data``; returns the path written."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp_name, path)
+    except BaseException:
+        # Never leave the temp file behind, even on KeyboardInterrupt.
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: PathLike, text: str) -> pathlib.Path:
+    """Atomically replace ``path`` with ``text`` (UTF-8)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def crash_safe_append(path: PathLike, line: str, fsync: bool = True) -> pathlib.Path:
+    """Append one complete line (newline added if missing) durably.
+
+    The line is issued as a single ``write()`` on an ``O_APPEND`` handle;
+    with ``fsync=True`` the record is on disk before this returns, so a
+    subsequent crash cannot lose it.
+    """
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    if not line.endswith("\n"):
+        line += "\n"
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(line)
+        handle.flush()
+        if fsync:
+            os.fsync(handle.fileno())
+    return path

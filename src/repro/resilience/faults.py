@@ -1,0 +1,235 @@
+"""Deterministic fault injection: a seeded plan the whole stack consults.
+
+A :class:`FaultPlan` is parsed from the ``--inject-faults`` spec string and
+describes *exactly* which failures to manufacture, so CI can prove every
+recovery path in :mod:`repro.resilience.supervisor` actually fires instead
+of hoping production hits them first.  Faults come in three groups:
+
+- **Process faults** (exercised only inside supervised worker processes):
+  ``crash@I`` kills the worker with ``os._exit`` when task ``I`` starts,
+  ``hang@I`` parks it until the supervisor's wall-clock timeout kills it.
+  Both default to the first attempt only (``crash@I:K`` extends to the
+  first ``K`` attempts), so a retry after respawn succeeds and proves the
+  whole loop.
+- **Exception faults** (safe in any mode): ``flaky@I[:K]`` raises
+  :class:`~repro.errors.TransientFault` on the first ``K`` attempts
+  (default 1 — transient-then-success), ``fatal@I`` raises
+  :class:`~repro.errors.PermanentFault` on every attempt.
+- **Memory-model faults**: ``dram-drop=P`` drops/retries that fraction of
+  DRAM responses (each dropped response costs ``dram-delay=C`` extra core
+  cycles, default 200), ``sram-latency=F`` multiplies SRAM access latency
+  and ``sram-capacity=F`` scales the capacity assumption the latency model
+  sees.  The hooks in :mod:`repro.memory.dram`/:mod:`repro.memory.sram`
+  cost one global ``is None`` check when no plan is active, preserving the
+  repo's zero-overhead-when-off contract.
+- **Checkpoint faults**: ``corrupt-checkpoint@I`` truncates the journal
+  record of task ``I`` as it is written, so resume's skip-and-warn path is
+  exercised end to end.
+
+All randomness derives from ``seed=N`` (default 0) plus stable event
+counters — two runs of the same plan over the same work inject the same
+faults.  ``plan.counters`` records how often each class fired, which is
+how tests prove a fault was actually exercised.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import random
+import time
+from typing import Dict, Optional, Set, Tuple
+
+from ..errors import ConfigError, PermanentFault, TransientFault
+
+__all__ = [
+    "FaultPlan",
+    "ACTIVE",
+    "activate",
+    "deactivate",
+    "get_active",
+]
+
+#: Seconds a ``hang@I`` worker parks for — effectively forever next to any
+#: sane ``--task-timeout``, while still bounded if nothing ever kills it.
+HANG_SECONDS = 3600.0
+
+
+@dataclasses.dataclass
+class FaultPlan:
+    """A parsed, seeded fault-injection plan (see module docstring)."""
+
+    seed: int = 0
+    #: task index -> highest attempt number the fault still fires on.
+    crash: Dict[int, int] = dataclasses.field(default_factory=dict)
+    hang: Dict[int, int] = dataclasses.field(default_factory=dict)
+    flaky: Dict[int, int] = dataclasses.field(default_factory=dict)
+    fatal: Set[int] = dataclasses.field(default_factory=set)
+    dram_drop: float = 0.0
+    dram_delay_cycles: float = 200.0
+    sram_latency_factor: float = 1.0
+    sram_capacity_factor: float = 1.0
+    corrupt_checkpoint: Set[int] = dataclasses.field(default_factory=set)
+    spec: str = ""
+    #: Firing counts per fault class (proof the path was exercised).
+    counters: Dict[str, int] = dataclasses.field(default_factory=dict)
+    _dram_seq: int = dataclasses.field(default=0, repr=False)
+
+    # ------------------------------------------------------------- parsing
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a comma-separated spec, e.g. ``"crash@1,dram-drop=0.1,seed=7"``."""
+        plan = cls(spec=spec)
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            if "@" in token:
+                name, _, target = token.partition("@")
+                index, _, attempts = target.partition(":")
+                try:
+                    idx = int(index)
+                    upto = int(attempts) if attempts else 1
+                except ValueError:
+                    raise ConfigError(
+                        "fault target must be IDX[:ATTEMPTS]",
+                        field="--inject-faults", value=token,
+                    ) from None
+                if name == "crash":
+                    plan.crash[idx] = upto
+                elif name == "hang":
+                    plan.hang[idx] = upto
+                elif name == "flaky":
+                    plan.flaky[idx] = upto
+                elif name == "fatal":
+                    plan.fatal.add(idx)
+                elif name == "corrupt-checkpoint":
+                    plan.corrupt_checkpoint.add(idx)
+                else:
+                    raise ConfigError(
+                        "unknown fault kind",
+                        field="--inject-faults", value=token,
+                    )
+            elif "=" in token:
+                name, _, raw = token.partition("=")
+                try:
+                    value = float(raw)
+                except ValueError:
+                    raise ConfigError(
+                        "fault parameter must be numeric",
+                        field="--inject-faults", value=token,
+                    ) from None
+                if name == "seed":
+                    plan.seed = int(value)
+                elif name == "dram-drop":
+                    if not 0.0 <= value <= 1.0:
+                        raise ConfigError(
+                            "drop probability must be in [0, 1]",
+                            field="--inject-faults", value=token,
+                        )
+                    plan.dram_drop = value
+                elif name == "dram-delay":
+                    plan.dram_delay_cycles = value
+                elif name == "sram-latency":
+                    plan.sram_latency_factor = value
+                elif name == "sram-capacity":
+                    plan.sram_capacity_factor = value
+                else:
+                    raise ConfigError(
+                        "unknown fault parameter",
+                        field="--inject-faults", value=token,
+                    )
+            else:
+                raise ConfigError(
+                    "fault tokens are KIND@IDX[:N] or NAME=VALUE",
+                    field="--inject-faults", value=token,
+                )
+        return plan
+
+    # ---------------------------------------------------------- accounting
+    def _count(self, name: str) -> None:
+        self.counters[name] = self.counters.get(name, 0) + 1
+
+    # ------------------------------------------------------ process faults
+    def maybe_process_fault(self, index: int, attempt: int) -> None:
+        """Kill or park the *current process* if the plan says so.
+
+        Only ever called from inside a supervised worker — the degraded
+        serial path skips it so an injected crash cannot take down the
+        supervisor itself.
+        """
+        if self.crash.get(index, 0) >= attempt:
+            os._exit(137)  # simulate a SIGKILL'd / OOM-killed worker
+        if self.hang.get(index, 0) >= attempt:
+            # Park in small slices so an explicit terminate() lands fast.
+            deadline = time.monotonic() + HANG_SECONDS
+            while time.monotonic() < deadline:
+                time.sleep(0.25)
+
+    def maybe_raise_fault(self, index: int, attempt: int) -> None:
+        """Raise an injected exception fault for this (task, attempt)."""
+        if index in self.fatal:
+            self._count("fatal")
+            raise PermanentFault(
+                f"injected permanent fault on task {index} (attempt {attempt})"
+            )
+        if self.flaky.get(index, 0) >= attempt:
+            self._count("flaky")
+            raise TransientFault(
+                f"injected transient fault on task {index} (attempt {attempt})"
+            )
+
+    # ------------------------------------------------------- memory faults
+    def perturb_dram_cycles(self, cycles: float) -> float:
+        """Price a possibly-dropped DRAM response (deterministic per seed)."""
+        if self.dram_drop <= 0.0:
+            return cycles
+        self._dram_seq += 1
+        rng = random.Random(f"{self.seed}:dram:{self._dram_seq}")
+        if rng.random() < self.dram_drop:
+            self._count("dram_dropped")
+            return cycles + self.dram_delay_cycles
+        return cycles
+
+    def sram_effective_capacity(self, capacity_bytes: int) -> float:
+        """The capacity the SRAM latency model should *believe* it has."""
+        if self.sram_capacity_factor == 1.0:
+            return capacity_bytes
+        self._count("sram_capacity_flipped")
+        return capacity_bytes * self.sram_capacity_factor
+
+    def perturb_sram_latency(self, latency_ns: float) -> float:
+        if self.sram_latency_factor == 1.0:
+            return latency_ns
+        self._count("sram_latency_flipped")
+        return latency_ns * self.sram_latency_factor
+
+    # --------------------------------------------------- checkpoint faults
+    def should_corrupt_checkpoint(self, index: int) -> bool:
+        """True (once) if this task's journal record should be torn."""
+        if index in self.corrupt_checkpoint:
+            self.corrupt_checkpoint.discard(index)
+            self._count("checkpoint_corrupted")
+            return True
+        return False
+
+
+#: The process-wide active plan; ``None`` (the default) costs the memory
+#: models a single global load + identity check per priced transfer.
+ACTIVE: Optional[FaultPlan] = None
+
+
+def activate(plan: FaultPlan) -> FaultPlan:
+    """Install ``plan`` as the process-wide active fault plan."""
+    global ACTIVE
+    ACTIVE = plan
+    return plan
+
+
+def deactivate() -> None:
+    global ACTIVE
+    ACTIVE = None
+
+
+def get_active() -> Optional[FaultPlan]:
+    return ACTIVE

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..errors import ConfigError
 from ..memory.dram import HBMConfig
 from ..memory.sram import SRAMConfig
 
@@ -54,21 +55,46 @@ class TPUConfig:
     weight_double_buffer: bool = True
 
     def __post_init__(self) -> None:
-        if self.array_rows <= 0 or self.array_cols <= 0:
-            raise ValueError("array dimensions must be positive")
-        if self.clock_ghz <= 0:
-            raise ValueError("clock must be positive")
-        if self.num_vector_memories != self.array_rows:
-            raise ValueError(
-                "the TPU organisation ties one vector memory to one PE row "
-                f"(got {self.num_vector_memories} memories, {self.array_rows} rows)"
+        if self.array_rows <= 0:
+            raise ConfigError(
+                "array dimensions must be positive",
+                field="array_rows", value=self.array_rows,
             )
-        if self.sram_word_elems <= 0 or self.sram_elem_bytes <= 0:
-            raise ValueError("SRAM word geometry must be positive")
+        if self.array_cols <= 0:
+            raise ConfigError(
+                "array dimensions must be positive",
+                field="array_cols", value=self.array_cols,
+            )
+        if self.clock_ghz <= 0:
+            raise ConfigError(
+                "clock must be positive", field="clock_ghz", value=self.clock_ghz
+            )
+        if self.num_vector_memories != self.array_rows:
+            raise ConfigError(
+                "the TPU organisation ties one vector memory to one PE row "
+                f"({self.array_rows} rows)",
+                field="num_vector_memories", value=self.num_vector_memories,
+            )
+        if self.sram_word_elems <= 0:
+            raise ConfigError(
+                "SRAM word geometry must be positive",
+                field="sram_word_elems", value=self.sram_word_elems,
+            )
+        if self.sram_elem_bytes <= 0:
+            raise ConfigError(
+                "SRAM word geometry must be positive",
+                field="sram_elem_bytes", value=self.sram_elem_bytes,
+            )
         if self.unified_sram_bytes <= 0:
-            raise ValueError("SRAM capacity must be positive")
+            raise ConfigError(
+                "SRAM capacity must be positive",
+                field="unified_sram_bytes", value=self.unified_sram_bytes,
+            )
         if self.compute_elem_bytes <= 0:
-            raise ValueError("element size must be positive")
+            raise ConfigError(
+                "element size must be positive",
+                field="compute_elem_bytes", value=self.compute_elem_bytes,
+            )
 
     # ------------------------------------------------------------- derived
     @property

@@ -1,0 +1,106 @@
+"""End-to-end crash recovery: kill -9 a sweep, resume it, compare bytes.
+
+These tests drive the runner as real subprocesses (their own process
+groups, real pools, real signals) — the in-process matrix lives in
+``test_runner_resilience.py``.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+IDS = ["fig2", "table2"]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _runner(argv, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.harness.runner", *argv],
+        cwd=REPO, env=_env(), capture_output=True, text=True,
+        timeout=600, **kwargs,
+    )
+
+
+def _spawn_hung_run(tmp_path, run_id):
+    """Start a checkpointed --jobs 2 sweep whose second task hangs forever.
+
+    Returns the Popen (its own session, so the whole tree is killable)
+    and the journal path.  Waits until the first experiment is journaled,
+    i.e. the run is provably mid-flight with durable progress.
+    """
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.harness.runner", *IDS,
+            "--quick", "--jobs", "2", "--checkpoint", "--run-id", run_id,
+            "--results-dir", str(tmp_path), "--inject-faults", "hang@1",
+        ],
+        cwd=REPO, env=_env(), start_new_session=True,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+    journal = tmp_path / run_id / "checkpoint.jsonl"
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"run exited early ({proc.returncode}): {proc.stderr.read()}"
+            )
+        if journal.exists() and journal.read_text().count("\n") >= 1:
+            return proc, journal
+        time.sleep(0.2)
+    raise AssertionError("first experiment never reached the journal")
+
+
+def _kill_tree(proc):
+    try:
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    proc.wait(timeout=30)
+
+
+def test_kill9_then_resume_is_byte_identical(tmp_path):
+    plain = _runner([*IDS, "--quick"])
+    assert plain.returncode == 0
+
+    proc, journal = _spawn_hung_run(tmp_path, "e2e")
+    _kill_tree(proc)
+    assert journal.read_text().count("\n") >= 1  # durable partial progress
+
+    resumed = _runner(
+        [*IDS, "--quick", "--resume", "e2e", "--results-dir", str(tmp_path)]
+    )
+    assert resumed.returncode == 0
+    assert "resume e2e: 1 checkpoint hit(s), 1 experiment(s) to run" in resumed.stderr
+    assert resumed.stdout == plain.stdout  # bit-identical final report
+
+
+def test_sigint_exits_130_without_traceback_spray(tmp_path):
+    proc, _ = _spawn_hung_run(tmp_path, "intr")
+    os.killpg(os.getpgid(proc.pid), signal.SIGINT)  # Ctrl-C hits the group
+    try:
+        _, stderr = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        _kill_tree(proc)
+        pytest.fail("runner did not exit after SIGINT")
+    assert proc.returncode == 130
+    stderr = stderr.decode()
+    assert "Traceback" not in stderr
+    assert "--resume intr" in stderr  # tells the user how to pick it back up
+
+    # And the interrupted sweep is in fact resumable.
+    resumed = _runner(
+        [*IDS, "--quick", "--resume", "intr", "--results-dir", str(tmp_path)]
+    )
+    assert resumed.returncode == 0
+    assert "1 checkpoint hit(s)" in resumed.stderr

@@ -1,0 +1,158 @@
+"""Supervisor recovery matrix: crash, hang, flake, fatal, degrade, backoff.
+
+Worker functions must be module-level (picklable) because the supervisor
+fans them out over a ``ProcessPoolExecutor``.  Policies use tiny backoffs
+so the whole matrix runs in seconds.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import TransientFault
+from repro.resilience.supervisor import RetryPolicy, Supervisor, TaskSpec
+
+FAST = dict(backoff_base_s=0.01, backoff_cap_s=0.05, jitter=0.0)
+
+
+def _tasks(payloads):
+    return [
+        TaskSpec(index=i, key=f"task{i}", payload=p)
+        for i, p in enumerate(payloads)
+    ]
+
+
+# --------------------------------------------------------- worker functions
+
+
+def _double(payload, index, attempt):
+    return payload * 2
+
+
+def _crash_first_attempt(payload, index, attempt):
+    if attempt == 1:
+        os._exit(137)  # simulate OOM-kill / SIGKILL
+    return ("recovered", attempt)
+
+
+def _flaky_then_ok(payload, index, attempt):
+    if attempt <= payload:
+        raise TransientFault(f"flaky attempt {attempt}")
+    return attempt
+
+
+def _hang_first_attempt(payload, index, attempt):
+    if attempt == 1:
+        time.sleep(120)
+    return ("awake", attempt)
+
+
+def _always_broken(payload, index, attempt):
+    raise RuntimeError("deterministic bug")
+
+
+def _crash_unless_supervisor(payload, index, attempt):
+    if os.getpid() != payload:
+        os._exit(1)
+    return "ran serially"
+
+
+# ----------------------------------------------------------------- matrix
+
+
+def test_serial_success():
+    report = Supervisor(_double, jobs=1).run(_tasks([1, 2, 3]))
+    assert report.ok
+    assert report.results == {0: 2, 1: 4, 2: 6}
+    assert report.budget.succeeded == 3 and report.budget.tasks == 3
+
+
+def test_parallel_success_and_on_result_callback():
+    seen = []
+    report = Supervisor(
+        _double, jobs=2, on_result=lambda task, value: seen.append((task.key, value))
+    ).run(_tasks([5, 6]))
+    assert report.ok and report.results == {0: 10, 1: 12}
+    assert sorted(seen) == [("task0", 10), ("task1", 12)]
+
+
+def test_worker_crash_respawns_pool_and_retries():
+    policy = RetryPolicy(max_retries=2, **FAST)
+    report = Supervisor(_crash_first_attempt, jobs=2, policy=policy).run(
+        _tasks([None, None])
+    )
+    assert report.ok
+    assert all(value == ("recovered", 2) for value in report.results.values())
+    assert report.budget.pool_respawns >= 1
+    assert report.budget.transient_retries >= 1
+    assert report.budget.faults_by_class.get("TransientFault", 0) >= 1
+
+
+def test_transient_then_success_retry():
+    policy = RetryPolicy(max_retries=2, **FAST)
+    report = Supervisor(_flaky_then_ok, jobs=2, policy=policy).run(_tasks([1, 0]))
+    assert report.ok
+    assert report.results == {0: 2, 1: 1}  # task0 needed one retry
+    assert report.budget.transient_retries == 1
+
+
+def test_transient_budget_exhaustion_fails_task():
+    policy = RetryPolicy(max_retries=1, **FAST)
+    report = Supervisor(_flaky_then_ok, jobs=2, policy=policy).run(_tasks([99]))
+    assert not report.ok
+    (failure,) = report.failures
+    assert failure.fault == "TransientFault" and failure.attempts == 2
+    assert report.budget.failed == 1
+
+
+def test_hung_worker_times_out_and_retries():
+    policy = RetryPolicy(max_retries=1, timeout_s=1.0, **FAST)
+    report = Supervisor(_hang_first_attempt, jobs=2, policy=policy).run(
+        _tasks([None])
+    )
+    assert report.ok
+    assert report.results == {0: ("awake", 2)}
+    assert report.budget.timeouts >= 1
+
+
+def test_permanent_failure_is_not_retried():
+    policy = RetryPolicy(max_retries=5, **FAST)
+    report = Supervisor(_always_broken, jobs=2, policy=policy).run(_tasks([None]))
+    assert not report.ok
+    (failure,) = report.failures
+    assert failure.fault == "PermanentFault"
+    assert failure.attempts == 1  # permanent: one attempt, no retries
+    assert report.budget.transient_retries == 0
+
+
+def test_degrades_to_serial_after_repeated_pool_deaths():
+    # The worker dies in any child process but succeeds in the supervisor,
+    # so only the degraded-serial fallback can complete it.
+    policy = RetryPolicy(max_retries=6, max_pool_respawns=1, **FAST)
+    report = Supervisor(_crash_unless_supervisor, jobs=2, policy=policy).run(
+        _tasks([os.getpid()])
+    )
+    assert report.ok
+    assert report.results == {0: "ran serially"}
+    assert report.budget.degraded_serial
+
+
+# ----------------------------------------------------------------- backoff
+
+
+def test_backoff_is_deterministic_per_seed():
+    a = RetryPolicy(seed=11)
+    b = RetryPolicy(seed=11)
+    c = RetryPolicy(seed=12)
+    grid = [(task, attempt) for task in range(3) for attempt in (2, 3, 4)]
+    assert [a.backoff_s(*p) for p in grid] == [b.backoff_s(*p) for p in grid]
+    assert [a.backoff_s(*p) for p in grid] != [c.backoff_s(*p) for p in grid]
+
+
+def test_backoff_grows_exponentially_and_caps():
+    policy = RetryPolicy(backoff_base_s=0.1, backoff_cap_s=0.4, jitter=0.0)
+    assert policy.backoff_s(0, 2) == pytest.approx(0.1)
+    assert policy.backoff_s(0, 3) == pytest.approx(0.2)
+    assert policy.backoff_s(0, 4) == pytest.approx(0.4)
+    assert policy.backoff_s(0, 9) == pytest.approx(0.4)  # capped
