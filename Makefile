@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke ci all
+.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke audit-smoke fuzz-smoke ci all
 
 export PYTHONPATH := src
 
@@ -50,10 +50,18 @@ fault-matrix:
 fault-smoke:
 	python tools/fault_smoke.py
 
+audit-smoke:
+	python -m repro run fig13 --audit full
+
+fuzz-smoke:
+	python -m repro fuzz --specs 200 --seed 0 --no-corpus
+
 ci:
 	python -m pytest -x -q -m "not goldens" tests/
 	python -m pytest -q -m goldens tests/
 	python tools/check_regression.py
 	python tools/fault_smoke.py
+	python -m repro run fig13 --audit full
+	python -m repro fuzz --specs 200 --seed 0 --no-corpus
 
 all: test bench experiments

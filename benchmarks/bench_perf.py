@@ -18,9 +18,14 @@ a ``results/<run_id>/manifest.json`` captures the run's wall/CPU/RSS.
 Feed the report to ``tools/check_regression.py`` (or ``repro sentinel``)
 to gate drift against ``BENCH_history.jsonl``.
 
-Run via ``make bench`` or ``python benchmarks/bench_perf.py``.
+Run via ``make bench`` or ``python benchmarks/bench_perf.py``.  With
+``--audit-overhead`` the report additionally gains an ``audit`` block
+(full-audit wall-clock overhead ratio on fig13 plus the violation count —
+which the sentinel gates to zero); the default report's bytes are unchanged
+when the flag is absent.
 """
 
+import argparse
 import json
 import pathlib
 import subprocess
@@ -110,7 +115,57 @@ def harness_hit_rate() -> dict:
     }
 
 
-def main() -> None:
+def audit_overhead(experiment_id: str = "fig13", repeats: int = 3) -> dict:
+    """Wall-clock cost of the full invariant audit on one experiment.
+
+    Subprocess best-of-N for both arms (startup charged honestly, same
+    protocol as :func:`harness_wall_seconds`, cold caches by construction);
+    the check/violation counts come from one extra in-process audited run.
+    """
+    from repro.audit import auditor as audit_mod
+
+    def best_of(extra) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            subprocess.run(
+                [sys.executable, "-m", "repro.harness.runner", experiment_id, *extra],
+                cwd=REPO,
+                env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+                check=True,
+                stdout=subprocess.DEVNULL,
+            )
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    off = best_of([])
+    full = best_of(["--audit", "full"])
+    try:
+        clear_cache()
+        audit_mod.configure("full")
+        audit_mod.reset()
+        runner.run_experiment(experiment_id, quick=False)
+        snapshot = audit_mod.snapshot()
+    finally:
+        audit_mod.configure("off")
+    return {
+        "experiment": experiment_id,
+        "off_seconds": round(off, 4),
+        "full_seconds": round(full, 4),
+        "overhead_ratio": round(full / off, 3) if off > 0 else None,
+        "checks": snapshot["checks"],
+        "violations": snapshot["violations"],
+    }
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--audit-overhead", action="store_true",
+        help="also measure full-audit overhead on fig13 and add an 'audit' "
+        "block to the report (default report bytes are unchanged without it)",
+    )
+    args = parser.parse_args(argv)
     with RunContext(
         tool="benchmarks.bench_perf", results_dir=str(REPO / "results")
     ) as run_ctx:
@@ -136,6 +191,7 @@ def main() -> None:
                 "vgg16_batch8_warm": vgg_warm_hist.to_dict(),
             },
             "cache": harness_hit_rate(),
+            **({"audit": audit_overhead()} if args.audit_overhead else {}),
             "provenance": {
                 "run_id": run_ctx.run_id,
                 "git": run_ctx.manifest.provenance["git"],

@@ -5,16 +5,20 @@ Commands:
 - ``run [ids...] [--all] [--quick] [--jobs N] [--trace [PATH]] [--profile]
   [--log-level L] [--log-file PATH] [--quiet] [--export-dir DIR]
   [--checkpoint] [--resume RUN_ID] [--task-timeout S] [--max-retries N]
-  [--inject-faults SPEC]`` —
-  regenerate the paper's tables/figures with full run-level observability
-  and fault tolerance (``experiments`` is the legacy spelling; both
-  forward to ``python -m repro.harness.runner``).
+  [--inject-faults SPEC] [--audit off|cheap|full]`` —
+  regenerate the paper's tables/figures with full run-level observability,
+  fault tolerance and (``--audit``) runtime invariant auditing
+  (``experiments`` is the legacy spelling; both forward to
+  ``python -m repro.harness.runner``).
 - ``simulate-conv`` — time one conv layer on TPUSim and the V100 model.
 - ``simulate-network <name> [--batch N] [--platform tpu|gpu]`` — a whole CNN.
 - ``sweep-stride`` — the stride study for one layer across all paths.
 - ``list-networks`` — the available workload tables.
 - ``sentinel`` — the perf-regression gate over ``BENCH_history.jsonl`` and
   the trace goldens (same engine as ``tools/check_regression.py``).
+- ``fuzz [--specs N] [--seed S] [--corpus DIR] [--inject-faults SPEC]`` —
+  run random conv specs under full audit; failures are shrunk to minimal
+  reproducers and appended crash-safely to ``tests/audit/corpus/``.
 
 Every command accepts ``--log-level``/``--log-file``/``--quiet``
 (structured logging, see :mod:`repro.obs.log`) and ``--manifest`` (write a
@@ -120,6 +124,8 @@ def _runner_argv(args) -> List[str]:
         argv.extend(["--max-retries", str(args.max_retries)])
     if getattr(args, "inject_faults", None) is not None:
         argv.extend(["--inject-faults", args.inject_faults])
+    if getattr(args, "audit", "off") != "off":
+        argv.extend(["--audit", args.audit])
     return argv
 
 
@@ -204,6 +210,25 @@ def cmd_sentinel(args) -> int:
     return run_sentinel(args=args)
 
 
+def cmd_fuzz(args) -> int:
+    from .audit.fuzz import run_fuzz
+
+    obs_log.info(
+        "cli.fuzz", specs=args.specs, seed=args.seed, corpus=args.corpus,
+        inject_faults=args.inject_faults,
+    )
+    report = run_fuzz(
+        specs=args.specs,
+        seed=args.seed,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+        write_corpus=not args.no_corpus,
+        inject_faults=args.inject_faults,
+        log=obs_log.console,
+    )
+    return 1 if report.violations else 0
+
+
 def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("ids", nargs="*")
     p.add_argument("--all", action="store_true", dest="run_all",
@@ -239,6 +264,9 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--inject-faults", default=None, metavar="SPEC",
                    help="deterministic fault injection spec, e.g. "
                    "'seed=7,crash@1,dram-drop=0.01'")
+    p.add_argument("--audit", choices=("off", "cheap", "full"), default="off",
+                   help="runtime invariant auditing ('full' adds per-layer "
+                   "cross-model differential checks; default off)")
     p.set_defaults(func=cmd_experiments)
 
 
@@ -291,6 +319,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sentinel_args(p)
     p.set_defaults(func=cmd_sentinel)
+
+    p = sub.add_parser(
+        "fuzz", parents=[obs_parent],
+        help="fuzz random conv specs under full audit; shrink failures "
+        "into tests/audit/corpus/",
+    )
+    p.add_argument("--specs", type=int, default=200,
+                   help="number of random specs to run (default 200)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed; same seed => same specs and shrinks")
+    p.add_argument("--corpus", default="tests/audit/corpus", metavar="DIR",
+                   help="directory receiving minimal reproducers "
+                   "(default tests/audit/corpus)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="record failing specs as found, without minimising")
+    p.add_argument("--no-corpus", action="store_true",
+                   help="report failures without writing corpus files")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="fault-injection spec active during the campaign, "
+                   "e.g. 'audit-break=tpu.macs.conservation' to prove the "
+                   "catch->shrink->corpus pipeline")
+    p.set_defaults(func=cmd_fuzz)
     return parser
 
 

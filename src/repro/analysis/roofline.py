@@ -11,7 +11,13 @@ import dataclasses
 
 from ..core.conv_spec import ConvSpec, GemmShape
 
-__all__ = ["RooflinePoint", "conv_roofline", "gemm_roofline", "ridge_intensity"]
+__all__ = [
+    "RooflinePoint",
+    "conv_roofline",
+    "gemm_roofline",
+    "ridge_intensity",
+    "cycle_lower_bound",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -65,3 +71,29 @@ def gemm_roofline(
     shape: GemmShape, peak_tflops: float, bandwidth_gbps: float, elem_bytes: int = 2
 ) -> RooflinePoint:
     return _place(shape.flops, shape.bytes_moved(elem_bytes), peak_tflops, bandwidth_gbps)
+
+
+def cycle_lower_bound(
+    macs: int,
+    peak_macs_per_cycle: float,
+    read_bytes: int = 0,
+    write_bytes: int = 0,
+    bytes_per_cycle: float = 0.0,
+) -> float:
+    """A directional roofline lower bound on a layer's cycle count.
+
+    No schedule can beat the compute roof (``macs / peak_macs_per_cycle``)
+    or either memory direction's streaming time at peak per-direction
+    bandwidth (``bytes / bytes_per_cycle``).  Reads and writes are bounded
+    *separately* — the memory system moves them on independent channels,
+    so summing them (the classic single-stream roofline) would overstate
+    the bound for bidirectional HBM.  The audit layer uses this as the
+    ``*.latency.roofline`` invariant: simulated cycles below this value
+    mean the model created throughput out of thin air.
+    """
+    if peak_macs_per_cycle <= 0:
+        raise ValueError("peak_macs_per_cycle must be positive")
+    bound = macs / peak_macs_per_cycle
+    if bytes_per_cycle > 0:
+        bound = max(bound, read_bytes / bytes_per_cycle, write_bytes / bytes_per_cycle)
+    return bound

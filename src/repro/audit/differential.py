@@ -1,0 +1,219 @@
+"""Full-level differential checks: every execution path must agree.
+
+The repo prices each layer through several interchangeable machineries —
+the per-item reference scheduler fold, the vectorized
+:class:`~repro.perf.schedule_arrays.ScheduleArrays` executor, and the
+fingerprint-keyed simulation memo that may serve either from cache.  The
+bit-exactness contract between them is what the golden snapshots and the
+perf layer's equivalence tests assert *offline*; at ``--audit full`` it
+is enforced *at run time*, per layer:
+
+- ``diff.reference-vs-vectorized`` — rebuild the schedule with the
+  per-item reference builder, execute it with the reference fold, and
+  compare every :class:`~repro.systolic.scheduler.ScheduleResult` field
+  bit-for-bit against the vectorized executor;
+- ``diff.executor-equivalence`` — feed the *same* vectorized arrays
+  through the reference fold (isolates executor drift from builder
+  drift);
+- ``diff.cache-coherence`` — the served (possibly memoized) result must
+  equal the fresh recomputation, so a stale or corrupted cache entry is
+  caught the moment it is used.
+
+Each perf-cache fingerprint is verified **once** per process (the
+auditor keeps a ``verified_keys`` set), so the memoized fast path stays
+fast: repeated layers cost one set lookup.
+
+One cost control keeps ``full`` usable on real experiment sweeps:
+schedules above :data:`DIFFERENTIAL_ITEM_CAP` work items skip the
+O(items) reference re-runs (the per-item builder and fold are pure
+Python and dwarf the vectorized path on 50k-item GEMMs).  The cheap
+``diff.cache-coherence`` comparison still runs for every key, and every
+skip is counted in the auditor's ``differential_skipped`` — surfaced in
+the snapshot and as a trace instant, never silent.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..trace import tracer as _trace
+from . import auditor as _auditor
+from .invariants import fingerprint_context
+
+__all__ = ["DIFFERENTIAL_ITEM_CAP", "verify_conv_layer", "verify_gemm_layer"]
+
+#: Schedules with more work items than this skip the per-item reference
+#: re-runs (counted, never silent).  1024 items ≈ a millisecond of
+#: pure-Python fold, which keeps full-audit wall-clock well within 2x of
+#: an unaudited run on the fig13 sweep; the biggest GEMM keys sit two
+#: orders of magnitude above the cap.
+DIFFERENTIAL_ITEM_CAP = 1024
+
+#: The ScheduleResult fields two paths must agree on, bit for bit.
+_FIELDS = (
+    "total_cycles",
+    "compute_cycles",
+    "dma_cycles",
+    "exposed_dma_cycles",
+    "items",
+    "macs",
+)
+
+
+def _outcome_tuple(outcome) -> Tuple:
+    return tuple(getattr(outcome, f) for f in _FIELDS)
+
+
+def _skip_reference(items: int, layer: str) -> None:
+    """Account (loudly) for one size-capped reference re-run."""
+    _auditor.get_auditor().differential_skipped += 1
+    if _trace.enabled():
+        _trace.instant(
+            "audit.differential.size_cap",
+            cat="audit",
+            layer=layer,
+            items=items,
+            cap=DIFFERENTIAL_ITEM_CAP,
+        )
+
+
+def _compare(invariant: str, left, right, message: str, context) -> None:
+    _auditor.check(
+        invariant,
+        _outcome_tuple(left) == _outcome_tuple(right),
+        expected=dict(zip(_FIELDS, _outcome_tuple(left))),
+        actual=dict(zip(_FIELDS, _outcome_tuple(right))),
+        message=message,
+        context=context,
+    )
+
+
+def verify_conv_layer(
+    key: Tuple, spec, config, engine, result, *, group_size: int, layout
+) -> None:
+    """Differential-check one conv layer (once per perf-cache key)."""
+    auditor = _auditor.get_auditor()
+    if key in auditor.verified_keys:
+        return
+    auditor.verified_keys.add(key)
+    # Imported lazily: the audit package must not pull the simulators in
+    # at import time (they import *us* for instrumentation).
+    from ..perf.schedule_arrays import (
+        channel_first_schedule_arrays,
+        execute_schedule_arrays,
+    )
+    from ..systolic.scheduler import channel_first_schedule, execute_schedule
+
+    context = fingerprint_context(spec, config, group_size=group_size)
+    with _trace.span("audit.differential", cat="audit", layer=spec.name or "conv"):
+        arrays = channel_first_schedule_arrays(
+            spec, config, engine, group_size=group_size, layout=layout
+        )
+        vectorized = execute_schedule_arrays(arrays)
+        if vectorized.items <= DIFFERENTIAL_ITEM_CAP:
+            item_fold = execute_schedule(arrays.to_work_items())
+            _compare(
+                "diff.executor-equivalence",
+                vectorized,
+                item_fold,
+                "vectorized executor disagrees with the reference fold on the "
+                "same schedule",
+                context,
+            )
+            reference = execute_schedule(
+                channel_first_schedule(
+                    spec, config, engine, group_size=group_size, layout=layout
+                )
+            )
+            _compare(
+                "diff.reference-vs-vectorized",
+                reference,
+                vectorized,
+                "reference schedule pipeline disagrees with the vectorized "
+                "ScheduleArrays path",
+                context,
+            )
+        else:
+            _skip_reference(vectorized.items, spec.name or "conv")
+        served = (
+            result.cycles,
+            result.compute_cycles,
+            result.dma_cycles,
+            result.exposed_dma_cycles,
+            result.macs,
+        )
+        fresh = (
+            vectorized.total_cycles,
+            vectorized.compute_cycles,
+            vectorized.dma_cycles,
+            vectorized.exposed_dma_cycles,
+            vectorized.macs,
+        )
+        _auditor.check(
+            "diff.cache-coherence",
+            served == fresh,
+            expected=fresh,
+            actual=served,
+            message="memoized layer result disagrees with a fresh recomputation",
+            context=context,
+        )
+
+
+def verify_gemm_layer(key: Tuple, shape, config, engine, result) -> None:
+    """Differential-check one raw GEMM layer (once per perf-cache key)."""
+    auditor = _auditor.get_auditor()
+    if key in auditor.verified_keys:
+        return
+    auditor.verified_keys.add(key)
+    from ..perf.schedule_arrays import (
+        execute_schedule_arrays,
+        gemm_schedule_arrays,
+    )
+    from ..systolic.scheduler import execute_schedule, gemm_schedule
+
+    context = fingerprint_context(None, config, shape=(shape.m, shape.n, shape.k))
+    with _trace.span("audit.differential", cat="audit", layer="gemm"):
+        arrays = gemm_schedule_arrays(shape, config, engine)
+        vectorized = execute_schedule_arrays(arrays)
+        if vectorized.items <= DIFFERENTIAL_ITEM_CAP:
+            item_fold = execute_schedule(arrays.to_work_items())
+            _compare(
+                "diff.executor-equivalence",
+                vectorized,
+                item_fold,
+                "vectorized executor disagrees with the reference fold on the "
+                "same GEMM schedule",
+                context,
+            )
+            reference = execute_schedule(gemm_schedule(shape, config, engine))
+            _compare(
+                "diff.reference-vs-vectorized",
+                reference,
+                vectorized,
+                "reference GEMM pipeline disagrees with the vectorized path",
+                context,
+            )
+        else:
+            _skip_reference(vectorized.items, "gemm")
+        served = (
+            result.cycles,
+            result.compute_cycles,
+            result.dma_cycles,
+            result.exposed_dma_cycles,
+            result.macs,
+        )
+        fresh = (
+            vectorized.total_cycles,
+            vectorized.compute_cycles,
+            vectorized.dma_cycles,
+            vectorized.exposed_dma_cycles,
+            vectorized.macs,
+        )
+        _auditor.check(
+            "diff.cache-coherence",
+            served == fresh,
+            expected=fresh,
+            actual=served,
+            message="memoized GEMM result disagrees with a fresh recomputation",
+            context=context,
+        )

@@ -124,8 +124,37 @@ class ConvSpec:
             if value <= 0:
                 raise ConfigError("must be positive", field=field, value=value)
         # Raises if the filter does not fit; validates stride/pad/dilation too.
-        output_extent(self.h_in, self.h_filter, self.stride, self.padding, self.dilation)
-        output_extent(self.w_in, self.w_filter, self.stride, self.padding, self.dilation)
+        # Non-fit errors are re-raised naming the offending output axis, its
+        # (non-positive) derived extent, and the full derived OFMap shape.
+        for axis_field, in_extent, filt in (
+            ("h_out", self.h_in, self.h_filter),
+            ("w_out", self.w_in, self.w_filter),
+        ):
+            try:
+                output_extent(
+                    in_extent, filt, self.stride, self.padding, self.dilation
+                )
+            except ConfigError as err:
+                if err.field is not None:
+                    raise  # stride/padding/dilation already carry their field
+                effective = self.dilation * (filt - 1) + 1
+                derived = (
+                    in_extent + 2 * self.padding - effective
+                ) // self.stride + 1
+                shape = (self.n, self.c_out) + tuple(
+                    (ext + 2 * self.padding - (self.dilation * (f - 1) + 1))
+                    // self.stride + 1
+                    for ext, f in (
+                        (self.h_in, self.h_filter), (self.w_in, self.w_filter)
+                    )
+                )
+                raise ConfigError(
+                    f"non-positive output extent: effective filter {effective} "
+                    f"does not fit input {in_extent} with pad {self.padding} "
+                    f"(derived OFMap shape {shape})",
+                    field=axis_field,
+                    value=derived,
+                ) from None
 
     # ---------------------------------------------------------------- shapes
     @property

@@ -26,7 +26,7 @@ drag any heavy imports along:
 
 from __future__ import annotations
 
-from typing import Any, Optional, Type
+from typing import Any, Dict, Optional, Type
 
 __all__ = [
     "ReproError",
@@ -89,7 +89,46 @@ class AuditFault(PermanentFault):
 
     Never retried: the inputs were fine, the *computation* disagreed with
     its own invariants, which is exactly what must stop a run.
+
+    When raised by the :mod:`repro.audit` layer the fault carries a
+    structured payload — the stable ``invariant`` id from the catalog,
+    the ``expected`` and ``actual`` values, and a ``context`` dict with
+    the ConvSpec/config fingerprints — so a supervisor or fuzz harness
+    can triage violations without parsing the message.  Bare
+    construction (``AuditFault("msg")``) keeps working for older call
+    sites, and instances pickle across process boundaries with their
+    payload intact (``BaseException`` ships ``__dict__`` as state).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: Optional[str] = None,
+        expected: Any = None,
+        actual: Any = None,
+        context: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.invariant = invariant
+        self.expected = expected
+        self.actual = actual
+        self.context = dict(context or {})
+        if invariant is not None:
+            message = (
+                f"[{invariant}] {message} "
+                f"(expected {expected!r}, actual {actual!r})"
+            )
+        super().__init__(message)
+
+    def payload(self) -> Dict[str, Any]:
+        """The structured violation record (JSON-friendly modulo values)."""
+        return {
+            "invariant": self.invariant,
+            "expected": self.expected,
+            "actual": self.actual,
+            "context": dict(self.context),
+            "message": str(self),
+        }
 
 
 def classify_error(err: BaseException) -> Type[FaultError]:

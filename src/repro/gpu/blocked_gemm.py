@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from ..audit import auditor as _audit
 from ..core.conv_spec import GemmShape
 from ..perf.cache import memoized_model
 from .config import GPUConfig
@@ -82,7 +83,7 @@ def kernel_time(
         + staged_bytes / config.staging_bandwidth_bps
     )
     seconds = max(compute.seconds, memory_seconds) + config.kernel_overhead_s
-    return KernelTime(
+    result = KernelTime(
         name=name,
         seconds=seconds,
         compute_seconds=compute.seconds,
@@ -90,6 +91,11 @@ def kernel_time(
         traffic_bytes=traffic_bytes + staged_bytes,
         macs=macs if macs is not None else m * k * n,
     )
+    if _audit.enabled():
+        from ..audit import invariants as audit_invariants
+
+        audit_invariants.check_gpu_kernel(result, config)
+    return result
 
 
 @memoized_model

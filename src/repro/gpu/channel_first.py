@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+from ..audit import auditor as _audit
 from ..core.conv_spec import ConvSpec
 from ..core.reordering import greedy_reuse_order, order_reuse_fraction
 from ..perf.cache import memoized_model
@@ -118,4 +119,11 @@ def channel_first_conv_time(
     trace_metrics.record_kernel(
         "gpu.channel_first", spec.describe() or "conv", result.seconds, result.tflops
     )
+    if _audit.enabled():
+        from ..audit import invariants as audit_invariants
+
+        # Post-memoization on purpose: the published kernel is audited even
+        # when the timing came out of the model cache.
+        audit_invariants.check_gpu_kernel(result.kernel, config)
+        audit_invariants.check_gpu_channel_first(spec, result, config)
     return result

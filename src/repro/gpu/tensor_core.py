@@ -17,6 +17,7 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from ..errors import AuditFault
 from .config import GPUConfig
 
 __all__ = ["ComputeTime", "tc_gemm_compute_seconds", "padded_macs", "wave_count"]
@@ -92,5 +93,23 @@ def tc_gemm_compute_seconds(m: int, k: int, n: int, config: GPUConfig) -> Comput
         key=lambda r: r[0],
     )
     seconds, executed, tiles = best
+    # The executed-MAC count is integral by construction (tiles x padded tile
+    # volume); cast exactly once at this boundary so any float drift in a
+    # future refactor fails loudly instead of rounding silently.
+    executed_int = int(executed)
+    if executed_int != executed:
+        raise AuditFault(
+            f"non-integral executed-MAC total for {m}x{k}x{n} GEMM",
+            invariant="gpu.macs.integral",
+            expected="an exact integer",
+            actual=executed,
+        )
+    if not math.isfinite(seconds) or seconds <= 0:
+        raise AuditFault(
+            f"non-finite or non-positive compute time for {m}x{k}x{n} GEMM",
+            invariant="gpu.seconds.finite",
+            expected="a finite, positive float",
+            actual=seconds,
+        )
     waves = wave_count(m, n, config)
-    return ComputeTime(seconds=seconds, executed_macs=executed, waves=waves, tiles=tiles)
+    return ComputeTime(seconds=seconds, executed_macs=executed_int, waves=waves, tiles=tiles)

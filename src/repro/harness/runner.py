@@ -54,7 +54,7 @@ import sys
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-from ..errors import PermanentFault
+from ..errors import AuditFault, PermanentFault
 from ..obs import log as obs_log
 from ..perf.cache import SIM_CACHE, CacheStats
 
@@ -157,6 +157,23 @@ class RunTelemetry:
     timings: list = dataclasses.field(default_factory=list)
     #: :class:`repro.obs.PhaseSample` records; empty unless ``--profile``.
     phases: list = dataclasses.field(default_factory=list)
+    #: :func:`repro.audit.snapshot` dict; empty unless ``--audit`` is on.
+    audit: dict = dataclasses.field(default_factory=dict)
+
+    @staticmethod
+    def _fold_audit(into: dict, part: dict) -> dict:
+        if not part:
+            return into
+        if not into:
+            folded = dict(part)
+            folded["checks_by_invariant"] = dict(part.get("checks_by_invariant", {}))
+            return folded
+        into["checks"] = into.get("checks", 0) + part.get("checks", 0)
+        into["violations"] = into.get("violations", 0) + part.get("violations", 0)
+        by_invariant = into.setdefault("checks_by_invariant", {})
+        for invariant, count in part.get("checks_by_invariant", {}).items():
+            by_invariant[invariant] = by_invariant.get(invariant, 0) + count
+        return into
 
     @classmethod
     def merge(cls, parts: Iterable["RunTelemetry"]) -> "RunTelemetry":
@@ -178,11 +195,16 @@ class RunTelemetry:
             merged.cache = merged.cache + part.cache
             merged.timings.extend(part.timings)
             merged.phases.extend(part.phases)
+            merged.audit = cls._fold_audit(merged.audit, part.audit)
         return merged
 
 
 def _run_with_telemetry(
-    experiment_id: str, quick: bool, tracing: bool, profiling: bool = False
+    experiment_id: str,
+    quick: bool,
+    tracing: bool,
+    profiling: bool = False,
+    audit_level: str = "off",
 ) -> Tuple[ExperimentResult, RunTelemetry]:
     """Run one experiment with per-run cache accounting (and tracing if on).
 
@@ -192,6 +214,14 @@ def _run_with_telemetry(
     """
     SIM_CACHE.reset_stats()
     obs_log.debug("experiment.start", experiment=experiment_id, quick=quick)
+    auditing = audit_level != "off"
+    if auditing:
+        # Configure in *this* process (pool workers start with audit off) and
+        # zero the counters so each experiment reports its own window.
+        from ..audit import auditor as audit_mod
+
+        audit_mod.configure(audit_level)
+        audit_mod.reset()
     profiler = None
     if profiling:
         from ..obs.profiler import PhaseProfiler
@@ -213,6 +243,7 @@ def _run_with_telemetry(
             cache=SIM_CACHE.stats,
             timings=[(experiment_id, wall_s)],
             phases=list(profiler.samples) if profiler is not None else [],
+            audit=audit_mod.snapshot() if auditing else {},
         )
         obs_log.info(
             "experiment.done", experiment=experiment_id, wall_s=round(wall_s, 4)
@@ -235,6 +266,7 @@ def _run_with_telemetry(
             cache=SIM_CACHE.stats,
             timings=[(experiment_id, wall_s)],
             phases=list(profiler.samples) if profiler is not None else [],
+            audit=audit_mod.snapshot() if auditing else {},
         )
     finally:
         trace.disable()
@@ -251,6 +283,7 @@ def run_many_telemetry(
     jobs: int = 1,
     tracing: bool = False,
     profiling: bool = False,
+    audit_level: str = "off",
 ) -> Tuple[List[ExperimentResult], RunTelemetry]:
     """Like :func:`run_many`, but also collect :class:`RunTelemetry`.
 
@@ -260,13 +293,16 @@ def run_many_telemetry(
     contract.
     """
     if jobs <= 1:
-        pairs = [_run_with_telemetry(eid, quick, tracing, profiling) for eid in ids]
+        pairs = [
+            _run_with_telemetry(eid, quick, tracing, profiling, audit_level)
+            for eid in ids
+        ]
     else:
         from ..resilience.supervisor import RetryPolicy
 
         by_id, report = _run_supervised(
             ids, quick=quick, tracing=tracing, profiling=profiling,
-            jobs=jobs, policy=RetryPolicy(),
+            jobs=jobs, policy=RetryPolicy(), audit_level=audit_level,
         )
         if report.failures:
             first = report.failures[0]
@@ -281,20 +317,21 @@ def run_many_telemetry(
 
 
 def _supervised_task(
-    payload: Tuple[str, bool, bool, bool, Optional[str], int],
+    payload: Tuple[str, bool, bool, bool, Optional[str], str, int],
     index: int,
     attempt: int,
 ) -> Tuple[ExperimentResult, RunTelemetry]:
     """One supervised unit of work (runs in a pool worker, or serially).
 
     ``payload`` carries ``(experiment_id, quick, tracing, profiling,
-    fault_spec, supervisor_pid)``.  Process-level injected faults (crash/
-    hang) only fire when this is *not* the supervising process, so the
-    degraded-serial fallback can never be taken down by its own injection.
+    fault_spec, audit_level, supervisor_pid)``.  Process-level injected
+    faults (crash/hang) only fire when this is *not* the supervising
+    process, so the degraded-serial fallback can never be taken down by its
+    own injection.
     """
-    eid, quick, tracing, profiling, fault_spec, supervisor_pid = payload
+    eid, quick, tracing, profiling, fault_spec, audit_level, supervisor_pid = payload
     if fault_spec is None:
-        return _run_with_telemetry(eid, quick, tracing, profiling)
+        return _run_with_telemetry(eid, quick, tracing, profiling, audit_level)
     from ..resilience import faults
 
     plan = faults.FaultPlan.parse(fault_spec)
@@ -303,7 +340,7 @@ def _supervised_task(
     plan.maybe_raise_fault(index, attempt)
     faults.activate(plan)
     try:
-        return _run_with_telemetry(eid, quick, tracing, profiling)
+        return _run_with_telemetry(eid, quick, tracing, profiling, audit_level)
     finally:
         faults.deactivate()
 
@@ -316,6 +353,7 @@ def _run_supervised(
     jobs: int,
     policy: Any,
     fault_spec: Optional[str] = None,
+    audit_level: str = "off",
     on_result: Optional[Callable[[Any, Any], None]] = None,
 ):
     """Run ``ids`` under the resilience supervisor.
@@ -329,7 +367,10 @@ def _run_supervised(
     tasks = [
         TaskSpec(
             index=i, key=eid,
-            payload=(eid, quick, tracing, profiling, fault_spec, os.getpid()),
+            payload=(
+                eid, quick, tracing, profiling, fault_spec, audit_level,
+                os.getpid(),
+            ),
         )
         for i, eid in enumerate(ids)
     ]
@@ -423,7 +464,7 @@ def _resilient_run(
         by_id, report = _run_supervised(
             pending, quick=args.quick, tracing=tracing, profiling=args.profile,
             jobs=args.jobs, policy=policy, fault_spec=args.inject_faults,
-            on_result=on_result,
+            audit_level=args.audit, on_result=on_result,
         )
         failures = list(report.failures)
         budget = report.budget
@@ -436,7 +477,7 @@ def _resilient_run(
         for index, eid in enumerate(pending):
             payload = (
                 eid, args.quick, tracing, args.profile,
-                args.inject_faults, os.getpid(),
+                args.inject_faults, args.audit, os.getpid(),
             )
             attempt = 1
             while True:
@@ -501,6 +542,13 @@ def harness_metrics(
         registry.set_gauge("repro_layers_per_second", lookups / wall_seconds)
     for _, wall_s in telemetry.timings:
         registry.observe("repro_experiment_seconds", wall_s)
+    if telemetry.audit:  # only audited runs expose audit series
+        registry.inc_counter(
+            "repro_audit_checks_total", telemetry.audit.get("checks", 0)
+        )
+        registry.inc_counter(
+            "repro_audit_violations_total", telemetry.audit.get("violations", 0)
+        )
     return registry
 
 
@@ -612,6 +660,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "'seed=7,crash@1,flaky@2:2,dram-drop=0.01' "
         "(see repro.resilience.faults.FaultPlan.parse)",
     )
+    parser.add_argument(
+        "--audit",
+        choices=("off", "cheap", "full"),
+        default="off",
+        help="runtime invariant auditing: 'cheap' checks conservation laws "
+        "in-line, 'full' adds per-layer cross-model differential checks; "
+        "a violation raises AuditFault and fails the run (default: off)",
+    )
     args = parser.parse_args(argv)
     ids = args.experiments or list(EXPERIMENTS)
     for eid in ids:
@@ -667,6 +723,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 "task_timeout": args.task_timeout,
                 "max_retries": args.max_retries,
                 "inject_faults": args.inject_faults,
+                # Keyed only when auditing so unaudited manifests keep their
+                # pre-audit shape.
+                **({"audit": args.audit} if args.audit != "off" else {}),
             },
         )
         run_ctx.__enter__()
@@ -676,6 +735,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     exit_code = 0
     failures = 0
+    audit_fault_failures = 0
     results: List[ExperimentResult] = []
     telemetry = RunTelemetry()
     budget = None
@@ -688,6 +748,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
                 if task_failures:
                     failures = len(task_failures)
+                    audit_fault_failures = sum(
+                        1 for f in task_failures if f.fault == "AuditFault"
+                    )
                     exit_code = 1
                     for failure in task_failures:
                         print(
@@ -705,6 +768,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     jobs=args.jobs,
                     tracing=tracing,
                     profiling=args.profile,
+                    audit_level=args.audit,
                 )
         except KeyboardInterrupt:
             exit_code = 130
@@ -719,6 +783,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print("interrupted", file=sys.stderr)
         except Exception as err:  # an experiment raised: fail the run loudly
             failures += 1
+            if isinstance(err, AuditFault):
+                audit_fault_failures += 1
             exit_code = 1
             obs_log.error("run.experiment_error", error=repr(err))
             print(f"error: experiment run failed: {err!r}", file=sys.stderr)
@@ -753,6 +819,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"simulation cache: {stats.hits} hits / {stats.misses} misses "
                 f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries)"
             )
+        if args.audit != "off":
+            # Experiments that *raised* AuditFault never shipped their
+            # counter window back, so count those failures as violations.
+            summary = RunTelemetry._fold_audit(
+                {"level": args.audit, "checks": 0,
+                 "checks_by_invariant": {}, "violations": 0},
+                telemetry.audit,
+            )
+            summary["level"] = args.audit
+            summary["violations"] += audit_fault_failures
+            telemetry.audit = summary
+            obs_log.console(
+                f"audit[{args.audit}]: {summary['checks']} checks, "
+                f"{summary['violations']} violation(s)"
+            )
         if args.export_dir and results:
             from .export import write_results
 
@@ -762,6 +843,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                     run_ctx.add_output(path)
             obs_log.console(f"exported {len(paths)} files to {args.export_dir}")
     finally:
+        if args.audit != "off":
+            # The level is process-global state; restore it so later runs in
+            # the same interpreter start unaudited unless they opt in again.
+            from ..audit import auditor as audit_mod
+
+            audit_mod.configure("off")
         if run_ctx is not None:
             from ..obs.prom import write_prometheus
 
@@ -769,6 +856,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 run_ctx.manifest.extra["error_budget"] = budget.to_dict()
             if checkpoint_info is not None:
                 run_ctx.manifest.extra["checkpoint"] = checkpoint_info
+            if args.audit != "off":
+                run_ctx.manifest.extra["audit"] = telemetry.audit
             manifest = run_ctx.finish(exit_code)
             run_dir = run_ctx.run_dir
             registry = harness_metrics(telemetry, manifest.wall_seconds or 0.0, failures)

@@ -31,6 +31,7 @@ from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..audit import auditor as _audit
 from ..errors import ConfigError
 from ..resilience import faults as _faults
 from ..trace import tracer as trace
@@ -250,6 +251,10 @@ class HBMModel:
             trace.counter("hbm.transfers", 1, cat="hbm")
             trace.counter("hbm.bytes", stats.bytes, cat="hbm")
             trace.counter("hbm.cycles", total, cat="hbm")
+        if _audit.enabled():
+            from ..audit import invariants as audit_invariants
+
+            audit_invariants.check_hbm_transfer(stats, total, cfg)
         return total
 
     def contiguous_cycles(self, nbytes: int) -> float:

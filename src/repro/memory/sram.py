@@ -29,6 +29,7 @@ from __future__ import annotations
 import dataclasses
 import math
 
+from ..audit import auditor as _audit
 from ..errors import ConfigError
 from ..resilience import faults as _faults
 
@@ -125,6 +126,10 @@ class SRAMModel:
         )
         if _faults.ACTIVE is not None:  # injected latency flip
             latency = _faults.ACTIVE.perturb_sram_latency(latency)
+        if _audit.enabled():
+            from ..audit import invariants as audit_invariants
+
+            audit_invariants.check_sram_latency(latency, capacity_bytes)
         return latency
 
     def access_latency_cycles(self, capacity_bytes: int, clock_ghz: float) -> float:

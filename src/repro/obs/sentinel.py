@@ -16,8 +16,9 @@ turns it into a guarded time series:
   compares bit-exactly against the committed files, so a *result* change
   can never hide behind a perf run;
 - :func:`run_sentinel` — the CLI entry shared by ``repro sentinel`` and
-  ``tools/check_regression.py``: exits nonzero on perf drift or any
-  bit-exactness break.
+  ``tools/check_regression.py``: exits nonzero on perf drift, any
+  bit-exactness break, or (when the report carries an ``audit`` block from
+  ``--audit-overhead``) a nonzero invariant-violation count.
 
 Directions are explicit, not guessed: a metric the table below does not
 classify is recorded in history but never gated on (histogram buckets,
@@ -241,6 +242,16 @@ def run_sentinel(argv=None, args: Optional[argparse.Namespace] = None) -> int:
             print(f"sentinel: current report {current_path} not found")
             return 2
         report = json.loads(current_path.read_text())
+        if "audit" in report:
+            # Reports produced under --audit-overhead carry the invariant
+            # audit's verdict; any violation is a model bug, not perf drift.
+            audit_violations = int(report["audit"].get("violations", 0))
+            if audit_violations:
+                violations.append(
+                    f"audit: {audit_violations} invariant violation(s) in the "
+                    "benchmarked run (see the report's 'audit' block)"
+                )
+            print(f"sentinel: audit gate: {audit_violations} violation(s)")
         current = flatten_metrics(report)
         history = load_history(args.history)
         if history:

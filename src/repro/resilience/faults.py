@@ -25,6 +25,11 @@ of hoping production hits them first.  Faults come in three groups:
 - **Checkpoint faults**: ``corrupt-checkpoint@I`` truncates the journal
   record of task ``I`` as it is written, so resume's skip-and-warn path is
   exercised end to end.
+- **Audit faults**: ``audit-break=INVARIANT`` deliberately flips the named
+  audit invariant (or every one, with ``audit-break=any``) to *failed* the
+  moment :mod:`repro.audit` evaluates it, so the catch → shrink → corpus
+  pipeline of ``repro fuzz`` — and the runner's AuditFault surfacing — can
+  be proven without planting a real model bug.
 
 All randomness derives from ``seed=N`` (default 0) plus stable event
 counters — two runs of the same plan over the same work inject the same
@@ -70,6 +75,8 @@ class FaultPlan:
     sram_latency_factor: float = 1.0
     sram_capacity_factor: float = 1.0
     corrupt_checkpoint: Set[int] = dataclasses.field(default_factory=set)
+    #: Audit invariant id to break deliberately ("any" matches them all).
+    audit_break: str = ""
     spec: str = ""
     #: Firing counts per fault class (proof the path was exercised).
     counters: Dict[str, int] = dataclasses.field(default_factory=dict)
@@ -112,6 +119,15 @@ class FaultPlan:
                     )
             elif "=" in token:
                 name, _, raw = token.partition("=")
+                if name == "audit-break":
+                    # String-valued: the invariant id (or "any") to break.
+                    if not raw:
+                        raise ConfigError(
+                            "audit-break needs an invariant id or 'any'",
+                            field="--inject-faults", value=token,
+                        )
+                    plan.audit_break = raw
+                    continue
                 try:
                     value = float(raw)
                 except ValueError:
@@ -203,6 +219,16 @@ class FaultPlan:
             return latency_ns
         self._count("sram_latency_flipped")
         return latency_ns * self.sram_latency_factor
+
+    # -------------------------------------------------------- audit faults
+    def breaks_invariant(self, invariant: str) -> bool:
+        """True if the named audit invariant should be flipped to failed."""
+        if not self.audit_break:
+            return False
+        if self.audit_break == "any" or self.audit_break == invariant:
+            self._count("audit_break")
+            return True
+        return False
 
     # --------------------------------------------------- checkpoint faults
     def should_corrupt_checkpoint(self, index: int) -> bool:

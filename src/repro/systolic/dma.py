@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 
+from ..audit import auditor as _audit
 from ..core.conv_spec import ConvSpec
 from ..core.layouts import Layout
 from ..memory.dram import HBMModel, TransferStats
@@ -87,9 +88,29 @@ class FillEngine:
             spec.ifmap_bytes(elem) * group_size,
         )
         span = max(span, payload)
-        return self.hbm.transfer_cycles(
+        cycles = self.hbm.transfer_cycles(
             TransferStats(bytes=payload, runs=runs, span_bytes=span)
         )
+        if _audit.enabled():
+            from ..audit import invariants as audit_invariants
+
+            # The payload must stay within the im2col-expanded bound for the
+            # rows being filled: g*C_I elements per lowered row, no more.
+            _audit.check(
+                "dma.fill.sane",
+                payload == rows * spec.c_in * group_size * elem
+                and payload <= spec.lowered_bytes(elem) * group_size
+                and math.isfinite(cycles)
+                and cycles > 0,
+                expected=f"payload {rows * spec.c_in * group_size * elem} B, "
+                f"finite positive cycles",
+                actual=(payload, cycles),
+                message="IFMap fill payload/cycles out of bounds",
+                context=audit_invariants.fingerprint_context(
+                    spec, self.config, rows=rows, group_size=group_size
+                ),
+            )
+        return cycles
 
     def sliding_window_fill_cycles(self, spec: ConvSpec, rows: int) -> float:
         """Fill cost of the *channel-last* scheme for the same output rows.

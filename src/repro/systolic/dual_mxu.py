@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List
 
+from ..audit import auditor as audit
 from ..core.conv_spec import ConvSpec
 from ..perf.cache import SIM_CACHE, config_key, spec_key
 from ..perf import schedule_arrays as perf_schedules
@@ -88,7 +89,7 @@ def simulate_conv_dual_mxu(
     def compute() -> LayerResult:
         with trace.span("tpu.dual_mxu.simulate", layer=name, arrays=arrays):
             schedule = perf_schedules.channel_first_schedule_arrays(spec, config)
-            total, compute_busy, dma_busy, _ = perf_schedules.execute_multi_array_schedule(
+            total, compute_busy, dma_busy, macs = perf_schedules.execute_multi_array_schedule(
                 schedule, arrays
             )
             return LayerResult(
@@ -106,5 +107,10 @@ def simulate_conv_dual_mxu(
     result = SIM_CACHE.get_or_compute(key, compute)
     if result.name != name:
         result = dataclasses.replace(result, name=name)
+    # Post-cache so that cache hits are audited like fresh computations.
+    if audit.enabled():
+        from ..audit import invariants as audit_invariants
+
+        audit_invariants.check_tpu_multi_mxu(spec, config, arrays, result)
     trace_metrics.record_layer("tpu.dual_mxu", result, key=key, arrays=arrays)
     return result

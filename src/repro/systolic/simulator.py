@@ -19,6 +19,7 @@ Timing results come from the event-driven two-resource pipeline in
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -33,6 +34,8 @@ from ..perf.cache import SIM_CACHE, config_key, spec_key
 # Module binding (not named imports): repro.perf.schedule_arrays imports the
 # systolic scheduler back, so grabbing names here would break whichever
 # package imports first.  The module object resolves cleanly either way.
+from ..audit import auditor as audit
+from ..errors import AuditFault
 from ..perf import schedule_arrays as perf_schedules
 from ..trace import metrics as trace_metrics
 from ..trace import tracer as trace
@@ -42,6 +45,25 @@ from .scheduler import ScheduleResult
 from .systolic_array import CycleAccurateArray
 
 __all__ = ["LayerResult", "NetworkResult", "TPUSim"]
+
+
+def _boundary_macs(value, label: str) -> int:
+    """Cast a MAC total to ``int`` exactly once, at the simulator boundary.
+
+    MAC counts are integral by construction; a fractional (or silently
+    rounded ``float``) value here means some accumulation drifted — e.g. a
+    sum carried through ``float64`` past 2**53.  Always on: one comparison
+    per layer.
+    """
+    as_int = int(value)
+    if as_int != value:
+        raise AuditFault(
+            f"non-integral MAC total at the simulator boundary for {label}",
+            invariant="tpu.macs.integral",
+            expected="an exact integer",
+            actual=value,
+        )
+    return as_int
 
 
 @dataclasses.dataclass(frozen=True)
@@ -132,6 +154,22 @@ class TPUSim:
         result = SIM_CACHE.get_or_compute(key, compute)
         if result.name != name:  # cached under another layer's label
             result = dataclasses.replace(result, name=name)
+        # Post-cache on purpose: cache hits (and stale/corrupt cache entries)
+        # are audited exactly like fresh computations.
+        if audit.enabled():
+            from ..audit import invariants as audit_invariants
+
+            audit_invariants.check_tpu_conv(
+                spec, self.config, result,
+                group_size=resolved_group, layout=layout,
+            )
+        if audit.full():
+            from ..audit import differential as audit_differential
+
+            audit_differential.verify_conv_layer(
+                key, spec, self.config, self.engine, result,
+                group_size=resolved_group, layout=layout,
+            )
         trace_metrics.record_layer("tpu.conv", result, key=key)
         return result
 
@@ -149,6 +187,16 @@ class TPUSim:
         result = SIM_CACHE.get_or_compute(key, compute)
         if result.name != name:
             result = dataclasses.replace(result, name=name)
+        if audit.enabled():
+            from ..audit import invariants as audit_invariants
+
+            audit_invariants.check_tpu_gemm(shape, self.config, result)
+        if audit.full():
+            from ..audit import differential as audit_differential
+
+            audit_differential.verify_gemm_layer(
+                key, shape, self.config, self.engine, result
+            )
         trace_metrics.record_layer("tpu.gemm", result, key=key)
         return result
 
@@ -164,11 +212,19 @@ class TPUSim:
         over the simulated cycles, so padding/duplication inefficiency shows
         up as lost TFLOPS exactly as it does on real hardware."""
         cycles = outcome.total_cycles
+        if not math.isfinite(cycles) or cycles < 0:
+            raise AuditFault(
+                f"non-finite or negative cycle count for {name}",
+                invariant="tpu.cycles.finite",
+                expected="a finite, non-negative float",
+                actual=cycles,
+            )
+        macs = _boundary_macs(true_macs, name)
         tflops = (
-            2 * true_macs * self.config.clock_ghz / cycles / 1e3 if cycles > 0 else 0.0
+            2 * macs * self.config.clock_ghz / cycles / 1e3 if cycles > 0 else 0.0
         )
         utilization = (
-            true_macs / (self.config.peak_macs_per_cycle * cycles) if cycles > 0 else 0.0
+            macs / (self.config.peak_macs_per_cycle * cycles) if cycles > 0 else 0.0
         )
         return LayerResult(
             name=name,
@@ -178,7 +234,7 @@ class TPUSim:
             compute_cycles=outcome.compute_cycles,
             dma_cycles=outcome.dma_cycles,
             exposed_dma_cycles=outcome.exposed_dma_cycles,
-            macs=true_macs,
+            macs=macs,
             group_size=group_size,
         )
 

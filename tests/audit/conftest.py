@@ -1,0 +1,11 @@
+"""Audit-suite fixtures: never leak an enabled auditor into other suites."""
+
+import pytest
+
+from repro.audit import auditor
+
+
+@pytest.fixture(autouse=True)
+def _audit_off_after():
+    yield
+    auditor.configure("off")

@@ -1,0 +1,34 @@
+"""Replay every archived fuzz case under full audit.
+
+``tests/audit/corpus/`` holds minimal reproducers: hostile-but-passing
+seeds checked in by hand, plus any case the fuzzer ever shrank out of a
+real violation.  Each entry must simulate cleanly — a case that fails here
+is a regression of a previously-fixed (or never-fixed) model bug.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.audit.fuzz import load_corpus, run_spec, spec_from_dict
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+
+def test_corpus_is_seeded():
+    assert len(ENTRIES) >= 6, "seed corpus went missing"
+
+
+@pytest.mark.parametrize(
+    "entry", ENTRIES, ids=[e["id"] for e in ENTRIES]
+)
+def test_corpus_case_replays_clean(entry):
+    spec = spec_from_dict(entry["spec"])
+    failure = run_spec(spec, entry.get("tpu_config") or "tpu_v2")
+    assert failure is None, (
+        f"corpus case {entry['id']} regressed: "
+        f"{failure and failure.get('invariant')}: "
+        f"{failure and failure.get('message')}"
+    )

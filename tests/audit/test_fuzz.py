@@ -1,0 +1,198 @@
+"""Fuzz harness: determinism, shrinking, corpus writes, the injected-break
+end-to-end pipeline, and the CLI surface."""
+
+import json
+import random
+
+import pytest
+
+from repro.audit import fuzz
+from repro.audit.fuzz import (
+    SPEC_FIELDS,
+    run_fuzz,
+    run_spec,
+    sample_spec,
+    shrink_spec,
+    spec_from_dict,
+    spec_to_dict,
+    write_corpus_entry,
+)
+from repro.core.conv_spec import ConvSpec
+from repro.errors import ConfigError
+
+
+def _sample_many(seed, count):
+    rng = random.Random(seed)
+    out = []
+    while len(out) < count:
+        try:
+            out.append(sample_spec(rng))
+        except ConfigError:
+            continue
+    return out
+
+
+def test_sampling_is_deterministic_per_seed():
+    assert _sample_many(7, 20) == _sample_many(7, 20)
+    assert _sample_many(7, 20) != _sample_many(8, 20)
+
+
+def test_sampler_hits_hostile_corners():
+    specs = _sample_many(0, 300)
+    assert any(s.h_filter == 1 and s.w_filter == 1 for s in specs)
+    assert any(s.h_filter != s.w_filter for s in specs)
+    assert any(s.stride > max(s.h_filter, s.w_filter) for s in specs)
+    assert any(s.dilation > 1 for s in specs)
+    assert any(s.n == 1 for s in specs)
+    assert any(s.c_in % 128 for s in specs)
+
+
+def test_clean_campaign_is_deterministic_and_green():
+    first = run_fuzz(specs=25, seed=11, write_corpus=False, log=lambda _: None)
+    second = run_fuzz(specs=25, seed=11, write_corpus=False, log=lambda _: None)
+    assert first.violations == 0
+    assert first.specs_run == second.specs_run == 25
+    assert first.rejected == second.rejected
+
+
+def test_run_spec_returns_none_on_healthy_spec():
+    assert run_spec(ConvSpec(1, 3, 8, 8, 4, 3, 3, padding=1, name="ok")) is None
+
+
+# ------------------------------------------------------------------ shrinking
+
+
+def test_shrink_reaches_global_floor_when_everything_fails():
+    failure = {"invariant": "fake.broken", "error_type": "AuditFault"}
+    minimal = shrink_spec(
+        ConvSpec(8, 96, 28, 28, 127, 5, 5, stride=2, padding=2, dilation=1),
+        failure,
+        reproduce=lambda s: dict(failure),
+    )
+    assert spec_to_dict(minimal) == {
+        "n": 1, "c_in": 1, "h_in": 1, "w_in": 1, "c_out": 1,
+        "h_filter": 1, "w_filter": 1, "stride": 1, "padding": 0, "dilation": 1,
+    }
+
+
+def test_shrink_preserves_the_failing_condition():
+    failure = {"invariant": "fake.cin", "error_type": "AuditFault"}
+
+    def reproduce(spec):
+        return dict(failure) if spec.c_in >= 4 else None
+
+    minimal = shrink_spec(
+        ConvSpec(4, 96, 14, 14, 32, 3, 3, padding=1), failure,
+        reproduce=reproduce,
+    )
+    assert minimal.c_in == 4  # cannot shrink past the trigger
+    assert minimal.n == 1 and minimal.h_in == 1 and minimal.h_filter == 1
+
+
+def test_shrink_is_deterministic():
+    failure = {"invariant": "fake.odd", "error_type": "AuditFault"}
+
+    def reproduce(spec):
+        return dict(failure) if spec.w_in % 2 else None
+
+    start = ConvSpec(2, 8, 21, 21, 8, 3, 3, padding=1)
+    assert shrink_spec(start, failure, reproduce=reproduce) == shrink_spec(
+        start, failure, reproduce=reproduce
+    )
+
+
+def test_shrink_does_not_chase_a_different_failure():
+    original = {"invariant": "fake.a", "error_type": "AuditFault"}
+
+    def reproduce(spec):
+        # Shrunken candidates fail differently; those must not be adopted.
+        if spec.c_in < 8:
+            return {"invariant": "fake.b", "error_type": "AuditFault"}
+        return dict(original)
+
+    minimal = shrink_spec(
+        ConvSpec(1, 16, 4, 4, 4, 1, 1), original, reproduce=reproduce
+    )
+    assert minimal.c_in >= 8
+
+
+# ------------------------------------------------------------------- corpus
+
+
+def test_corpus_write_is_idempotent_and_round_trips(tmp_path):
+    spec = ConvSpec(1, 3, 8, 8, 4, 3, 3, padding=1, name="case")
+    first = write_corpus_entry(tmp_path, spec, "tpu_v2",
+                               failure={"invariant": "x.y"})
+    second = write_corpus_entry(tmp_path, spec, "tpu_v2",
+                                failure={"invariant": "x.y"})
+    assert first == second
+    assert len(list(tmp_path.glob("case-*.json"))) == 1
+    entry = json.loads(first.read_text())
+    assert entry["invariant"] == "x.y"
+    restored = spec_from_dict(entry["spec"])
+    assert spec_to_dict(restored) == spec_to_dict(spec)
+
+
+def test_corpus_entries_sorted_and_tagged(tmp_path):
+    for c_in in (3, 5, 7):
+        write_corpus_entry(
+            tmp_path, ConvSpec(1, c_in, 8, 8, 4, 3, 3, padding=1), "tpu_v2"
+        )
+    entries = fuzz.load_corpus(tmp_path)
+    assert len(entries) == 3
+    assert [e["_path"] for e in entries] == sorted(e["_path"] for e in entries)
+    assert all(e["schema"] == fuzz.CORPUS_SCHEMA for e in entries)
+
+
+# ----------------------------------------------------- injected-break e2e
+
+
+def test_injected_break_is_caught_shrunk_and_archived(tmp_path):
+    report = run_fuzz(
+        specs=2, seed=0, corpus_dir=tmp_path,
+        inject_faults="audit-break=tpu.macs.conservation",
+        log=lambda _: None,
+    )
+    assert report.violations == 2
+    assert report.corpus_paths
+    with open(report.corpus_paths[0]) as handle:
+        entry = json.load(handle)
+    assert entry["invariant"] == "tpu.macs.conservation"
+    assert entry["injected"] == "audit-break=tpu.macs.conservation"
+    # The shrinker reaches the global minimum (the injection breaks every
+    # spec, so nothing stops the reduction).
+    assert entry["spec"] == {
+        "n": 1, "c_in": 1, "h_in": 1, "w_in": 1, "c_out": 1,
+        "h_filter": 1, "w_filter": 1, "stride": 1, "padding": 0, "dilation": 1,
+    }
+    assert entry["shrunk_from"] is not None
+
+
+def test_injection_deactivated_after_campaign(tmp_path):
+    from repro.resilience import faults
+
+    run_fuzz(specs=1, seed=0, corpus_dir=tmp_path,
+             inject_faults="audit-break=any", log=lambda _: None)
+    assert faults.get_active() is None
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def test_cli_fuzz_green_campaign(capsys):
+    from repro.__main__ import main
+
+    assert main(["fuzz", "--specs", "5", "--seed", "1", "--no-corpus"]) == 0
+    out = capsys.readouterr().out
+    assert "5 specs" in out and "0 violation(s)" in out
+
+
+def test_cli_fuzz_exit_one_on_violation(tmp_path, capsys):
+    from repro.__main__ import main
+
+    assert main([
+        "fuzz", "--specs", "1", "--seed", "0",
+        "--corpus", str(tmp_path),
+        "--inject-faults", "audit-break=any",
+    ]) == 1
+    assert list(tmp_path.glob("case-*.json"))

@@ -1,0 +1,135 @@
+"""Property suite: every cheap invariant holds on random valid ConvSpecs.
+
+The generators deliberately include the hostile corners the fuzzer is
+biased toward (dilation, stride > kernel, non-divisible channels, 1x1 and
+1xN kernels, batch 1); a single spec for which a conservation law fails is
+a real model bug, so these tests simply run the models under audit and
+assert no violation fired.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.audit import auditor
+from repro.core.conv_spec import ConvSpec, output_extent
+from repro.errors import ConfigError
+from repro.gpu.channel_first import channel_first_conv_time
+from repro.gpu.config import V100
+from repro.systolic.config import TPU_V2
+from repro.systolic.simulator import TPUSim
+
+import pytest
+
+
+@st.composite
+def specs(draw):
+    h_filter = draw(st.sampled_from((1, 1, 2, 3, 5)))
+    w_filter = draw(st.sampled_from((1, 2, 3, 5, 7)))
+    dilation = draw(st.sampled_from((1, 1, 2, 3)))
+    padding = draw(st.integers(0, 2))
+    stride = draw(st.sampled_from((1, 2, 3, 4)))
+    # Keep the effective filter inside the padded input on both axes.
+    h_min = max(1, dilation * (h_filter - 1) + 1 - 2 * padding)
+    w_min = max(1, dilation * (w_filter - 1) + 1 - 2 * padding)
+    return ConvSpec(
+        n=draw(st.sampled_from((1, 1, 2, 4))),
+        c_in=draw(st.sampled_from((1, 3, 16, 33, 64, 129))),
+        h_in=draw(st.integers(h_min, h_min + 20)),
+        w_in=draw(st.integers(w_min, w_min + 20)),
+        c_out=draw(st.sampled_from((1, 5, 32, 64, 130))),
+        h_filter=h_filter,
+        w_filter=w_filter,
+        stride=stride,
+        padding=padding,
+        dilation=dilation,
+        name="prop",
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs())
+def test_tpu_path_passes_cheap_invariants(spec):
+    auditor.configure("cheap")
+    auditor.reset()
+    TPUSim(TPU_V2).simulate_conv(spec)
+    snap = auditor.snapshot()
+    assert snap["violations"] == 0
+    assert snap["checks_by_invariant"]["tpu.macs.conservation"] == 1
+    assert snap["checks_by_invariant"]["tpu.dram.read-bounds"] == 1
+    assert snap["checks_by_invariant"]["tpu.latency.roofline"] == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(spec=specs())
+def test_gpu_path_passes_cheap_invariants(spec):
+    auditor.configure("cheap")
+    auditor.reset()
+    channel_first_conv_time(spec, V100)
+    snap = auditor.snapshot()
+    assert snap["violations"] == 0
+    assert snap["checks_by_invariant"]["gpu.flops.equivalence"] == 1
+    assert snap["checks_by_invariant"]["gpu.kernel.roofline"] >= 1
+
+
+@settings(max_examples=15, deadline=None)
+@given(spec=specs())
+def test_tpu_full_differential_agrees(spec):
+    auditor.configure("full")
+    auditor.reset()
+    TPUSim(TPU_V2).simulate_conv(spec)
+    snap = auditor.snapshot()
+    assert snap["violations"] == 0
+    assert snap["checks_by_invariant"]["diff.reference-vs-vectorized"] == 1
+    assert snap["checks_by_invariant"]["diff.cache-coherence"] == 1
+
+
+# ------------------------------------------------- output-size formula (sat 1)
+
+
+def _brute_force_extent(in_extent, filt, stride, pad, dilation):
+    """Count window start positions whose every tap lands in the padded input."""
+    effective = dilation * (filt - 1) + 1
+    count = 0
+    start = -pad
+    while start + effective <= in_extent + pad:
+        count += 1
+        start += stride
+    return count
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    in_extent=st.integers(1, 40),
+    filt=st.integers(1, 7),
+    stride=st.integers(1, 5),
+    pad=st.integers(0, 4),
+    dilation=st.integers(1, 4),
+)
+def test_output_extent_matches_brute_force(in_extent, filt, stride, pad, dilation):
+    expected = _brute_force_extent(in_extent, filt, stride, pad, dilation)
+    if expected <= 0:
+        with pytest.raises(ConfigError):
+            output_extent(in_extent, filt, stride, pad, dilation)
+    else:
+        assert output_extent(in_extent, filt, stride, pad, dilation) == expected
+
+
+def test_nonfitting_spec_error_names_axis_and_derived_shape():
+    # 3x3 at dilation 2 has effective extent 5 > input 4: h_out would be <= 0.
+    with pytest.raises(ConfigError) as excinfo:
+        ConvSpec(1, 1, 4, 9, 1, 3, 3, stride=1, padding=0, dilation=2)
+    err = excinfo.value
+    assert err.field == "h_out"
+    assert err.value <= 0
+    assert "OFMap" in str(err)
+
+
+def test_nonfitting_width_names_w_out():
+    with pytest.raises(ConfigError) as excinfo:
+        ConvSpec(1, 1, 9, 2, 1, 1, 5, stride=1, padding=0)
+    assert excinfo.value.field == "w_out"
+
+
+def test_bad_stride_error_still_names_stride():
+    with pytest.raises(ConfigError) as excinfo:
+        ConvSpec(1, 1, 8, 8, 1, 3, 3, stride=0)
+    assert excinfo.value.field == "stride"

@@ -1,0 +1,112 @@
+"""Runner integration: --audit plumbing, zero-overhead-off byte identity,
+manifest/metrics exposure, and the failure path."""
+
+import json
+
+import pytest
+
+from repro.audit import auditor
+from repro.harness.runner import RunTelemetry, harness_metrics, main
+from repro.obs import log as obs_log
+
+
+@pytest.fixture(autouse=True)
+def reset_log_state():
+    obs_log.shutdown()
+    yield
+    obs_log.shutdown()
+
+
+def test_audit_off_stdout_is_byte_identical(capsys):
+    assert main(["table2", "--quick"]) == 0
+    flagless = capsys.readouterr()
+    assert main(["table2", "--quick", "--audit", "off"]) == 0
+    explicit_off = capsys.readouterr()
+    assert explicit_off.out == flagless.out
+    assert "audit[" not in flagless.out
+
+
+def test_audit_full_run_is_green_and_summarised(capsys):
+    assert main(["fig13", "--quick", "--audit", "full"]) == 0
+    out = capsys.readouterr().out
+    assert "audit[full]:" in out
+    assert "0 violation(s)" in out
+    # Level must not leak into later unaudited runs in this process.
+    assert not auditor.enabled()
+
+
+def test_audit_cheap_reports_checks(capsys):
+    assert main(["fig13", "--quick", "--audit", "cheap"]) == 0
+    out = capsys.readouterr().out
+    summary = [line for line in out.splitlines() if line.startswith("audit[cheap]")]
+    assert summary, out
+    checks = int(summary[0].split(":")[1].split()[0])
+    assert checks > 0
+
+
+def test_audit_block_lands_in_manifest_and_metrics(tmp_path, capsys):
+    assert main([
+        "fig13", "--quick", "--audit", "cheap",
+        "--manifest", "--results-dir", str(tmp_path),
+    ]) == 0
+    capsys.readouterr()
+    (run_dir,) = tmp_path.iterdir()
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    block = manifest["extra"]["audit"]
+    assert block["level"] == "cheap"
+    assert block["checks"] > 0
+    assert block["violations"] == 0
+    assert block["checks_by_invariant"]
+    prom = (run_dir / "metrics.prom").read_text()
+    assert "repro_audit_checks_total" in prom
+    violations_lines = [
+        line for line in prom.splitlines()
+        if line.startswith("repro_audit_violations_total")
+    ]
+    assert violations_lines and violations_lines[0].endswith(" 0")
+
+
+def test_unaudited_manifest_keeps_pre_audit_shape(tmp_path, capsys):
+    assert main([
+        "table2", "--quick", "--manifest", "--results-dir", str(tmp_path),
+    ]) == 0
+    capsys.readouterr()
+    (run_dir,) = tmp_path.iterdir()
+    manifest = json.loads((run_dir / "manifest.json").read_text())
+    assert "audit" not in manifest["extra"]
+    assert "audit" not in manifest["args"]
+    assert "repro_audit" not in (run_dir / "metrics.prom").read_text()
+
+
+def test_injected_break_fails_the_run(capsys):
+    code = main([
+        "fig13", "--quick", "--audit", "cheap",
+        "--inject-faults", "audit-break=tpu.macs.conservation",
+        "--max-retries", "0",
+    ])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "tpu.macs.conservation" in err
+
+
+def test_telemetry_audit_fold():
+    a = RunTelemetry(audit={"level": "cheap", "checks": 3,
+                            "checks_by_invariant": {"x": 3}, "violations": 1})
+    b = RunTelemetry(audit={"level": "cheap", "checks": 2,
+                            "checks_by_invariant": {"x": 1, "y": 1},
+                            "violations": 0})
+    merged = RunTelemetry.merge([a, b])
+    assert merged.audit["checks"] == 5
+    assert merged.audit["violations"] == 1
+    assert merged.audit["checks_by_invariant"] == {"x": 4, "y": 1}
+
+
+def test_harness_metrics_audit_counters_only_when_audited():
+    silent = harness_metrics(RunTelemetry(), 1.0)
+    assert "repro_audit_checks_total" not in silent.counters
+    audited = harness_metrics(
+        RunTelemetry(audit={"level": "cheap", "checks": 9, "violations": 2}),
+        1.0,
+    )
+    assert audited.counters["repro_audit_checks_total"] == 9
+    assert audited.counters["repro_audit_violations_total"] == 2

@@ -39,7 +39,10 @@ def test_audit_failure_exits_nonzero(monkeypatch, tmp_path, capsys):
         dma_cycles=60.0, exposed_dma_cycles=55.0, macs=1000, utilization=0.5,
     )
 
-    def fake_run_many_telemetry(ids, quick=False, jobs=1, tracing=False, profiling=False):
+    def fake_run_many_telemetry(
+        ids, quick=False, jobs=1, tracing=False, profiling=False,
+        audit_level="off",
+    ):
         return [], RunTelemetry(layers=[corrupt])
 
     monkeypatch.setattr(runner, "run_many_telemetry", fake_run_many_telemetry)

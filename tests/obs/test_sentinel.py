@@ -153,6 +153,42 @@ def test_run_sentinel_append_records_after_check(tmp_path):
     assert len(load_history(history)) == 2
 
 
+def test_run_sentinel_gates_audit_violations(tmp_path, capsys):
+    current, history = write_artifacts(
+        tmp_path,
+        {**report(), "audit": {"overhead_ratio": 1.6, "violations": 3}},
+        [report()],
+    )
+    code = run_sentinel(
+        ["--current", str(current), "--history", str(history), "--skip-goldens"]
+    )
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "audit gate: 3 violation(s)" in out
+    assert "REGRESSION: audit" in out
+
+
+def test_run_sentinel_audit_block_clean_passes(tmp_path, capsys):
+    current, history = write_artifacts(
+        tmp_path,
+        {**report(), "audit": {"overhead_ratio": 1.6, "violations": 0}},
+        [report()],
+    )
+    code = run_sentinel(
+        ["--current", str(current), "--history", str(history), "--skip-goldens"]
+    )
+    assert code == 0
+    assert "audit gate: 0 violation(s)" in capsys.readouterr().out
+
+
+def test_run_sentinel_report_without_audit_block_prints_no_gate(tmp_path, capsys):
+    current, history = write_artifacts(tmp_path, report(), [report()])
+    assert run_sentinel(
+        ["--current", str(current), "--history", str(history), "--skip-goldens"]
+    ) == 0
+    assert "audit gate" not in capsys.readouterr().out
+
+
 def test_run_sentinel_no_history_skips_perf_gate(tmp_path, capsys):
     current = tmp_path / "BENCH_perf.json"
     current.write_text(json.dumps(report()))
