@@ -25,10 +25,12 @@ def gemm_validation(quick: bool = False) -> ValidationRun:
     shapes = gemm_sweep()
     if quick:
         shapes = shapes[:4]
-    for shape in shapes:
-        simulated = sim.simulate_gemm(shape).cycles
+    # One batched pass: shared pricing + a single segmented recurrence
+    # (bit-identical per shape to the per-call loop).
+    simulated = sim.simulate_gemm_batch(shapes)
+    for shape, layer in zip(shapes, simulated):
         measured = oracle.measured_gemm_cycles(shape)
-        run_.add(f"{shape.m}x{shape.k}x{shape.n}", simulated, measured)
+        run_.add(f"{shape.m}x{shape.k}x{shape.n}", layer.cycles, measured)
     return run_
 
 
@@ -39,10 +41,10 @@ def conv_validation(quick: bool = False) -> ValidationRun:
     layers = conv_validation_layers(batch=8)
     if quick:
         layers = layers[:4]
-    for layer in layers:
-        simulated = sim.simulate_conv(layer).cycles
+    simulated = sim.simulate_conv_batch(layers)
+    for layer, result in zip(layers, simulated):
         measured = oracle.measured_conv_cycles(layer)
-        run_.add(layer.name, simulated, measured)
+        run_.add(layer.name, result.cycles, measured)
     return run_
 
 

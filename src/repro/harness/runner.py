@@ -816,7 +816,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.cache_stats:
             stats = telemetry.cache
             obs_log.console(
-                f"simulation cache: {stats.hits} hits / {stats.misses} misses "
+                f"simulation cache: {stats.hits} hits "
+                f"({stats.exact_hits} exact + {stats.canonical_hits} canonical) "
+                f"/ {stats.misses} misses "
                 f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries)"
             )
         if args.audit != "off":

@@ -57,8 +57,10 @@ DEFAULT_WINDOW = 5
 #: Gated metrics: dotted-name prefix -> which way is *worse*.
 _DIRECTIONS = (
     ("harness_wall_seconds", "up"),
+    ("experiment_wall_seconds.", "up"),
     ("simulate_conv_layers_per_second.", "down"),
     ("cache.hit_rate", "down"),
+    ("cache.canonical_hit_rate", "down"),
 )
 
 

@@ -17,6 +17,8 @@ from .cache import (
     SIM_CACHE,
     SimulationCache,
     cache_stats,
+    canonical_layout,
+    canonical_spec,
     clear_cache,
     config_key,
     fingerprint,
@@ -32,7 +34,14 @@ from .schedule_arrays import (
     execute_schedule_arrays,
     gemm_schedule_arrays,
     pipeline_free_times,
+    pipeline_free_times_segmented,
     schedule_construction_count,
+)
+from .batch import (
+    BatchPricer,
+    conv_schedule_batch,
+    execute_schedule_batch,
+    gemm_schedule_batch,
 )
 
 __all__ = [
@@ -40,6 +49,8 @@ __all__ = [
     "SIM_CACHE",
     "SimulationCache",
     "cache_stats",
+    "canonical_layout",
+    "canonical_spec",
     "clear_cache",
     "config_key",
     "fingerprint",
@@ -53,5 +64,10 @@ __all__ = [
     "execute_schedule_arrays",
     "gemm_schedule_arrays",
     "pipeline_free_times",
+    "pipeline_free_times_segmented",
     "schedule_construction_count",
+    "BatchPricer",
+    "conv_schedule_batch",
+    "execute_schedule_batch",
+    "gemm_schedule_batch",
 ]

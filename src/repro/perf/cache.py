@@ -17,6 +17,14 @@ Invalidation rules (tested in ``tests/perf/test_cache.py``):
   re-label the cached result).  The generic :func:`fingerprint` used for the
   GPU models keeps the name, because the measurement stand-ins derive their
   deterministic noise from ``spec.describe()``.
+- :func:`canonical_spec` goes one step further than dropping the name: it
+  folds *timing-equivalent* ConvSpecs onto one representative (H/W
+  transposes, pointwise dilation, see the function docstring), and callers
+  pass the canonical fingerprint as a **secondary** key.  A lookup that
+  misses on the exact key but hits the canonical one is a ``canonical_hit``
+  and aliases the exact key to the shared value.  Every fold is gated on the
+  exact conditions under which the fill/occupancy model is provably
+  invariant — never "close enough" (DESIGN.md section 4h).
 
 Cached values are frozen dataclasses shared by reference; they must never be
 mutated by callers (use ``dataclasses.replace``).
@@ -27,7 +35,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import functools
-from typing import Any, Callable, Tuple
+from typing import Any, Callable, Optional, Tuple
 
 __all__ = [
     "SimulationCache",
@@ -36,6 +44,8 @@ __all__ = [
     "fingerprint",
     "spec_key",
     "config_key",
+    "canonical_spec",
+    "canonical_layout",
     "memoized_model",
     "cache_stats",
     "clear_cache",
@@ -46,16 +56,26 @@ __all__ = [
 
 @dataclasses.dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of one cache (or the global one)."""
+    """Hit/miss counters of one cache (or the global one).
+
+    ``canonical_hits`` counts the subset of ``hits`` served through a
+    canonical (symmetry-folded) key rather than the exact key; exact-key
+    hits are therefore ``hits - canonical_hits``.
+    """
 
     hits: int
     misses: int
     entries: int
+    canonical_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def exact_hits(self) -> int:
+        return self.hits - self.canonical_hits
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
         """Aggregate stats across runs/processes.
@@ -69,7 +89,12 @@ class CacheStats:
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
             entries=self.entries + other.entries,
+            canonical_hits=self.canonical_hits + other.canonical_hits,
         )
+
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+_MISSING = object()
 
 
 class SimulationCache:
@@ -78,33 +103,93 @@ class SimulationCache:
     Unbounded by design: one entry per distinct (model, config, problem)
     combination, each a small frozen dataclass — the whole harness fits in a
     few thousand entries.
+
+    A lookup may carry a secondary ``canonical_key`` (a symmetry-folded
+    fingerprint, :func:`canonical_spec`).  When the exact key misses but the
+    canonical key holds a value, the hit is counted as a ``canonical_hit``
+    and the exact key is aliased to the shared value; computed values are
+    stored under both keys.  ``entries`` counts distinct stored results, not
+    aliases.
     """
 
-    __slots__ = ("_store", "hits", "misses", "enabled")
+    __slots__ = ("_store", "_aliases", "hits", "misses", "canonical_hits", "enabled")
 
     def __init__(self, enabled: bool = True):
         self._store: dict = {}
+        self._aliases = 0
         self.hits = 0
         self.misses = 0
+        self.canonical_hits = 0
         self.enabled = enabled
 
-    def get_or_compute(self, key: Tuple, compute: Callable[[], Any]) -> Any:
+    def get_or_compute(
+        self,
+        key: Tuple,
+        compute: Callable[[], Any],
+        canonical_key: Optional[Tuple] = None,
+    ) -> Any:
         if not self.enabled:
             return compute()
-        try:
-            value = self._store[key]
-        except KeyError:
-            self.misses += 1
-            value = compute()
-            self._store[key] = value
+        found, value = self.probe(key, canonical_key)
+        if found:
             return value
-        self.hits += 1
+        value = compute()
+        self.store(key, value, canonical_key)
         return value
+
+    # ---------------------------------------------------------- batch protocol
+    # The batched engine needs the lookup split from the compute so it can
+    # price all misses in one shot while keeping the hit/miss stream
+    # identical to a per-layer loop.
+    def probe(self, key: Tuple, canonical_key: Optional[Tuple] = None):
+        """One counted lookup: ``(found, value)``.
+
+        Counts exactly what a :meth:`get_or_compute` call would have counted
+        for the same keys (a canonical-key serve aliases the exact key).
+        """
+        value = self._store.get(key, _MISSING)
+        if value is not _MISSING:
+            self.hits += 1
+            return True, value
+        if canonical_key is not None and canonical_key != key:
+            value = self._store.get(canonical_key, _MISSING)
+            if value is not _MISSING:
+                self.hits += 1
+                self.canonical_hits += 1
+                self._store[key] = value
+                self._aliases += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def note_pending_hit(self, canonical: bool = False) -> None:
+        """Reclassify the last counted miss as a hit.
+
+        The batched engine calls this when a probe missed the store but an
+        identical job is already scheduled in the same batch: a per-layer
+        loop would have stored the first job's value before looking the
+        second one up, so the faithful count is a hit.
+        """
+        self.misses -= 1
+        self.hits += 1
+        if canonical:
+            self.canonical_hits += 1
+
+    def store(self, key: Tuple, value: Any, canonical_key: Optional[Tuple] = None) -> None:
+        """Insert a computed value (no counter changes; no-op when disabled)."""
+        if not self.enabled:
+            return
+        self._store[key] = value
+        if canonical_key is not None and canonical_key != key:
+            if self._store.setdefault(canonical_key, value) is value:
+                self._aliases += 1
 
     def clear(self) -> None:
         self._store.clear()
+        self._aliases = 0
         self.hits = 0
         self.misses = 0
+        self.canonical_hits = 0
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters without dropping cached entries.
@@ -115,13 +200,19 @@ class SimulationCache:
         """
         self.hits = 0
         self.misses = 0
+        self.canonical_hits = 0
 
     def __len__(self) -> int:
-        return len(self._store)
+        return len(self._store) - self._aliases
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(hits=self.hits, misses=self.misses, entries=len(self._store))
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            entries=len(self),
+            canonical_hits=self.canonical_hits,
+        )
 
 
 #: The process-wide cache every simulator entry point shares.
@@ -157,14 +248,25 @@ def fingerprint(value: Any) -> Any:
     strings, bools, None).
     """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
-        return (type(value).__name__,) + tuple(
-            fingerprint(getattr(value, f.name)) for f in dataclasses.fields(value)
-        )
+        try:
+            return _dataclass_fingerprint(value)
+        except TypeError:  # unhashable instance (mutable fields) — recompute
+            return _dataclass_fingerprint.__wrapped__(value)
     if isinstance(value, enum.Enum):
         return (type(value).__name__, value.value)
     if isinstance(value, (tuple, list)):
         return tuple(fingerprint(v) for v in value)
     return value
+
+
+@functools.lru_cache(maxsize=None)
+def _dataclass_fingerprint(value: Any) -> Tuple:
+    """Memoized dataclass fingerprint — the ``dataclasses.fields`` reflection
+    dominates warm ``simulate_conv`` dispatch otherwise (BENCH_perf latency
+    histograms put warm calls at ~40µs, most of it key construction)."""
+    return (type(value).__name__,) + tuple(
+        fingerprint(getattr(value, f.name)) for f in dataclasses.fields(value)
+    )
 
 
 def spec_key(spec: Any) -> Tuple:
@@ -173,6 +275,13 @@ def spec_key(spec: Any) -> Tuple:
     Cycle counts cannot depend on what a layer is called; excluding the name
     lets every same-shape layer across networks and figures share one entry.
     """
+    try:
+        return _spec_key_cached(spec)
+    except TypeError:  # unhashable spec subclass — fall back to direct build
+        return _spec_key_uncached(spec)
+
+
+def _spec_key_uncached(spec: Any) -> Tuple:
     return (type(spec).__name__,) + tuple(
         fingerprint(getattr(spec, f.name))
         for f in dataclasses.fields(spec)
@@ -180,9 +289,89 @@ def spec_key(spec: Any) -> Tuple:
     )
 
 
+_spec_key_cached = functools.lru_cache(maxsize=None)(_spec_key_uncached)
+
+
 def config_key(config: Any) -> Tuple:
     """Fingerprint of an accelerator config (all fields, nested included)."""
     return fingerprint(config)
+
+
+# --------------------------------------------------------------------------
+# Canonicalization: fold timing-equivalent problems onto one representative
+# --------------------------------------------------------------------------
+
+
+def canonical_spec(spec):
+    """Fold a ConvSpec onto its timing-canonical representative.
+
+    Returns ``(canonical, relabel)`` where ``relabel(result)`` restores the
+    caller-visible name on a served ``LayerResult``.  Each rewrite below is
+    applied only under the exact conditions for which the channel-first
+    schedule (fills, occupancy, drains, tiling policy) is provably invariant
+    — the cached value is shared, so "approximately equal" is not an option:
+
+    - **name strip**: timing never depends on the label (same rule as
+      :func:`spec_key`).
+    - **pointwise dilation fold** (``dilation -> 1``): a 1x1 kernel has no
+      spatial extent, so dilation only reaches the fill model through the
+      contiguity flag ``stride == 1 and dilation == 1``.  With ``stride > 1``
+      that flag is False either way, and the geometry (``h_out``/``w_out``,
+      lowered dims, MACs) of a 1x1 kernel is dilation-free — decomposed-1x1
+      position symmetry.  At ``stride == 1`` the fold would flip the DRAM
+      run coalescing, so it is **not** applied there.
+    - **H/W transpose** (order ``h_in <= w_in``): legal only for square
+      filters (the multi-tile policy and row-aligned grouping read
+      ``w_filter``) on the non-contiguous path (``stride > 1`` or
+      ``dilation > 1``), where the fill model sees only products
+      (``h_in*w_in``, ``h_out*w_out``) — the contiguous path coalesces runs
+      per output row (``ceil/w_out``), which a transpose would change.
+
+    Batch folding (moving N into H*W) is deliberately **absent** here: the
+    HWCN vector-memory word packs the batch dimension, so ``n`` enters the
+    fill model's run structure and address span directly (Sec. IV-C) —
+    N x HW commutation only holds where the schedule sees GEMM rows alone,
+    which is the explicit-im2col path (see ``explicit_schedule``).
+    """
+    canon = spec
+    if canon.name:
+        canon = dataclasses.replace(canon, name="")
+    if (
+        canon.h_filter == 1
+        and canon.w_filter == 1
+        and canon.dilation != 1
+        and canon.stride > 1
+    ):
+        canon = dataclasses.replace(canon, dilation=1)
+    if (
+        canon.h_filter == canon.w_filter
+        and canon.h_in > canon.w_in
+        and (canon.stride > 1 or canon.dilation > 1)
+    ):
+        canon = dataclasses.replace(canon, h_in=canon.w_in, w_in=canon.h_in)
+
+    def relabel(result):
+        name = spec.describe() or "conv"
+        if result.name == name:
+            return result
+        return dataclasses.replace(result, name=name)
+
+    return canon, relabel
+
+
+def canonical_layout(layout):
+    """Fold DRAM layouts the fill engine prices identically.
+
+    The run/span model only distinguishes channel-last (``NHWC``/``HWCN``)
+    from channel-major (``NCHW``/``CHWN``) — within a pair the batch position
+    never reaches a priced quantity.
+    """
+    value = getattr(layout, "value", layout)
+    if value in ("NHWC", "HWCN"):
+        return "NHWC"
+    if value in ("NCHW", "CHWN"):
+        return "NCHW"
+    return value
 
 
 def memoized_model(func: Callable) -> Callable:

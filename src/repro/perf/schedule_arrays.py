@@ -58,6 +58,7 @@ __all__ = [
     "execute_schedule_arrays",
     "execute_multi_array_schedule",
     "pipeline_free_times",
+    "pipeline_free_times_segmented",
     "schedule_construction_count",
 ]
 
@@ -173,6 +174,75 @@ def pipeline_free_times(start_floor: np.ndarray, busy: np.ndarray) -> np.ndarray
     s_list = s.tolist()
     a_list = a.tolist()
     for i in range(n):
+        prev = max(prev, s_list[i]) + a_list[i]
+        out[i] = prev
+    return out
+
+
+def pipeline_free_times_segmented(
+    start_floor: np.ndarray, busy: np.ndarray, seg_starts: np.ndarray
+) -> np.ndarray:
+    """Independent :func:`pipeline_free_times` over concatenated jobs.
+
+    ``seg_starts`` marks where each job's chain begins in the flat arrays;
+    the recurrence state resets there (``w_{-1} = 0`` per job), so slicing
+    the result at a job's bounds is bit-identical to running
+    :func:`pipeline_free_times` on that job alone.  The exact evaluation is
+    shared across the whole flat array: job boundaries are simply *forced*
+    restarts in the segmentation, and :func:`_evaluate_segments` already
+    evaluates every restart segment with its own left-associated cumsum.
+
+    Like the per-job solver, this assumes ``start_floor >= 0`` at each job's
+    first item (true for every schedule: fills and compute-free floors are
+    nonnegative), so a forced restart yields ``s + a`` exactly as the
+    reference fold's ``max(0, s) + a`` would.
+    """
+    s = np.asarray(start_floor, dtype=np.float64)
+    a = np.asarray(busy, dtype=np.float64)
+    n = s.size
+    if n == 0:
+        return np.empty(0, dtype=np.float64)
+    seg_starts = np.asarray(seg_starts, dtype=np.int64)
+    forced = np.zeros(n, dtype=bool)
+    forced[seg_starts] = True
+    forced[0] = True
+
+    # Per-job reassociated closed-form guess (rounding-tolerant: it only
+    # seeds the segmentation, which the fixpoint check below verifies).
+    w = np.empty(n, dtype=np.float64)
+    bounds = np.flatnonzero(forced)
+    for st, en in zip(bounds.tolist(), np.append(bounds[1:], n).tolist()):
+        ss = s[st:en]
+        acc = np.cumsum(a[st:en])
+        acc_prev = np.empty_like(acc)
+        acc_prev[0] = 0.0
+        acc_prev[1:] = acc[:-1]
+        w[st:en] = acc + np.maximum.accumulate(np.maximum(ss - acc_prev, -acc_prev))
+
+    restart = np.empty(n, dtype=bool)
+    for _ in range(_MAX_SEGMENT_REFINES):
+        restart[0] = True
+        np.greater_equal(s[1:], w[:-1], out=restart[1:])
+        restart |= forced
+        w_new = _evaluate_segments(s, a, restart)
+        # Forced positions restart regardless of the idle condition, so they
+        # are exempt from the fixpoint check.
+        stable = bool(
+            np.all(((s[1:] >= w_new[:-1]) == restart[1:]) | forced[1:])
+        )
+        w = w_new
+        if stable:
+            return w
+
+    # Fallback: the plain fold with per-job resets (safety net).
+    out = np.empty(n, dtype=np.float64)
+    prev = 0.0
+    s_list = s.tolist()
+    a_list = a.tolist()
+    forced_list = forced.tolist()
+    for i in range(n):
+        if forced_list[i]:
+            prev = 0.0
         prev = max(prev, s_list[i]) + a_list[i]
         out[i] = prev
     return out

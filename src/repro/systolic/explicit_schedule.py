@@ -95,7 +95,20 @@ def simulate_conv_explicit_tpu(
         )
 
     key = ("tpu-explicit", config_key(config), spec_key(spec))
-    result = SIM_CACHE.get_or_compute(key, compute)
+    # The explicit path never sees the conv's spatial structure — only the
+    # lowered GEMM (rows x cols x C_O) and the transform's byte/element
+    # volumes, all functions of the tuple below.  In particular the N x H*W
+    # commutation (batch folding) is exact *here*, unlike on the implicit
+    # path where HWCN packing makes the batch dimension physical (Sec. IV-C).
+    canonical = (
+        "tpu-explicit@c",
+        config_key(config),
+        spec.lowered_rows(),
+        spec.lowered_cols(),
+        spec.c_out,
+        spec.ifmap_elements(),
+    )
+    result = SIM_CACHE.get_or_compute(key, compute, canonical_key=canonical)
     if result.gemm.name != name:
         result = dataclasses.replace(
             result, gemm=dataclasses.replace(result.gemm, name=name)

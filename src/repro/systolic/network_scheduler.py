@@ -31,7 +31,8 @@ import dataclasses
 from typing import List, Sequence
 
 from ..core.conv_spec import ConvSpec
-from ..perf.cache import SIM_CACHE, config_key, spec_key
+from ..core.tiling import tpu_multi_tile_policy
+from ..perf.cache import SIM_CACHE, canonical_spec, config_key, spec_key
 from ..perf import schedule_arrays as perf_schedules
 from .config import TPUConfig, TPU_V2
 from .dma import FillEngine
@@ -114,6 +115,7 @@ def _layer_cycles(
 ) -> LayerResult:
     """One layer with optionally-elided IFMap fills / OFMap drains."""
     name = spec.describe()
+    policy_group = tpu_multi_tile_policy(spec, config.array_rows)
 
     def compute() -> LayerResult:
         layer_engine = _ResidentInputEngine(config, engine.hbm) if input_resident else engine
@@ -131,6 +133,7 @@ def _layer_cycles(
             dma_cycles=outcome.dma_cycles,
             exposed_dma_cycles=outcome.exposed_dma_cycles,
             macs=spec.macs,
+            group_size=policy_group,
         )
 
     key = (
@@ -140,7 +143,21 @@ def _layer_cycles(
         bool(input_resident),
         bool(output_resident),
     )
-    result = SIM_CACHE.get_or_compute(key, compute)
+    canonical = None
+    if not input_resident and not output_resident:
+        # A layer with no residency on either side is priced exactly like
+        # TPUSim.simulate_conv under the default group/layout — field for
+        # field, association for association — so it publishes the same
+        # symmetry-folded key and the two namespaces share one computation.
+        canon, _ = canonical_spec(spec)
+        canonical = (
+            "tpu-conv@c",
+            config_key(config),
+            spec_key(canon),
+            policy_group,
+            "NHWC",
+        )
+    result = SIM_CACHE.get_or_compute(key, compute, canonical_key=canonical)
     if result.name != name:
         result = dataclasses.replace(result, name=name)
     return result

@@ -29,13 +29,20 @@ from ..core.conv_spec import ConvSpec, GemmShape
 from ..core.layouts import Layout
 from ..core.reference import direct_conv2d
 from ..core.tiling import plan_multi_tile, tpu_multi_tile_policy
-from ..perf.cache import SIM_CACHE, config_key, spec_key
+from ..perf.cache import (
+    SIM_CACHE,
+    canonical_layout,
+    canonical_spec,
+    config_key,
+    spec_key,
+)
 
 # Module binding (not named imports): repro.perf.schedule_arrays imports the
 # systolic scheduler back, so grabbing names here would break whichever
 # package imports first.  The module object resolves cleanly either way.
 from ..audit import auditor as audit
 from ..errors import AuditFault
+from ..perf import batch as perf_batch
 from ..perf import schedule_arrays as perf_schedules
 from ..trace import metrics as trace_metrics
 from ..trace import tracer as trace
@@ -151,11 +158,45 @@ class TPUSim:
                 return self._layer_result(name, spec.macs, outcome, resolved_group)
 
         key = ("tpu-conv", config_key(self.config), spec_key(spec), resolved_group, layout.value)
-        result = SIM_CACHE.get_or_compute(key, compute)
-        if result.name != name:  # cached under another layer's label
-            result = dataclasses.replace(result, name=name)
+        result = SIM_CACHE.get_or_compute(
+            key, compute, canonical_key=self._conv_canonical_key(spec, resolved_group, layout)
+        )
         # Post-cache on purpose: cache hits (and stale/corrupt cache entries)
         # are audited exactly like fresh computations.
+        return self._finish_conv_result(spec, result, key, resolved_group, layout)
+
+    def _conv_canonical_key(
+        self, spec: ConvSpec, resolved_group: int, layout: Layout
+    ) -> tuple:
+        """Symmetry-folded cache key: timing-equivalent specs share it.
+
+        ``canonical_spec`` folds the spec's timing symmetries and
+        ``canonical_layout`` folds the layout pairs that price identically
+        (NHWC/HWCN, NCHW/CHWN).  The ``@c`` namespace also matches the one
+        the residency scheduler publishes for its no-residency layers, so
+        network-level and layer-level simulations share work.
+        """
+        canon, _ = canonical_spec(spec)
+        return (
+            "tpu-conv@c",
+            config_key(self.config),
+            spec_key(canon),
+            resolved_group,
+            canonical_layout(layout),
+        )
+
+    def _finish_conv_result(
+        self,
+        spec: ConvSpec,
+        result: LayerResult,
+        key: tuple,
+        resolved_group: int,
+        layout: Layout,
+    ) -> LayerResult:
+        """Relabel + audit + trace — the per-layer tail both paths share."""
+        name = spec.describe() or "conv"
+        if result.name != name:
+            result = dataclasses.replace(result, name=name)
         if audit.enabled():
             from ..audit import invariants as audit_invariants
 
@@ -172,6 +213,167 @@ class TPUSim:
             )
         trace_metrics.record_layer("tpu.conv", result, key=key)
         return result
+
+    def simulate_conv_batch(
+        self,
+        specs: Sequence[ConvSpec],
+        group_size: Optional[int] = None,
+        layout: Layout = Layout.NHWC,
+    ) -> List[LayerResult]:
+        """Timing of many conv layers through the batched schedule engine.
+
+        Per-layer results are bit-identical to :meth:`simulate_conv`, and
+        the cache sees the identical hit/miss stream the per-layer loop
+        would have produced (duplicates inside the batch count as hits);
+        only the construction/pricing work is amortized across the batch
+        (:mod:`repro.perf.batch`).
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        cfg = config_key(self.config)
+        entries = []  # (spec, resolved, key, cached_result_or_None, job_index)
+        jobs: List[tuple] = []
+        job_keys: List[tuple] = []
+        pending: Dict[tuple, int] = {}
+        alias_later: List[tuple] = []
+        for spec in specs:
+            resolved = (
+                group_size
+                if group_size is not None
+                else tpu_multi_tile_policy(spec, self.config.array_rows)
+            )
+            key = ("tpu-conv", cfg, spec_key(spec), resolved, layout.value)
+            canonical = self._conv_canonical_key(spec, resolved, layout)
+            cached = None
+            job = None
+            if SIM_CACHE.enabled:
+                found, value = SIM_CACHE.probe(key, canonical)
+                if found:
+                    cached = value
+                else:
+                    job = pending.get(key)
+                    if job is not None:
+                        SIM_CACHE.note_pending_hit()
+                    else:
+                        job = pending.get(canonical)
+                        if job is not None:
+                            SIM_CACHE.note_pending_hit(canonical=True)
+                            # The per-layer loop's probe would have aliased
+                            # this exact key; do the same once the job lands.
+                            alias_later.append((key, canonical, job))
+                    if job is None:
+                        job = len(jobs)
+                        pending[key] = job
+                        pending.setdefault(canonical, job)
+                        jobs.append((spec, resolved))
+                        job_keys.append((key, canonical))
+            else:
+                job = len(jobs)
+                jobs.append((spec, resolved))
+                job_keys.append((key, canonical))
+            entries.append((spec, resolved, key, cached, job))
+
+        job_results: List[LayerResult] = []
+        if jobs:
+            with trace.span(
+                "tpu.conv.batch", jobs=len(jobs), layers=len(specs)
+            ):
+                schedules = perf_batch.conv_schedule_batch(
+                    jobs, self.config, self.engine, layout=layout
+                )
+                outcomes = perf_batch.execute_schedule_batch(schedules)
+            for (spec, resolved), (key, canonical), outcome in zip(
+                jobs, job_keys, outcomes
+            ):
+                result = self._layer_result(
+                    spec.describe() or "conv", spec.macs, outcome, resolved
+                )
+                SIM_CACHE.store(key, result, canonical)
+                job_results.append(result)
+            for key, canonical, job in alias_later:
+                SIM_CACHE.store(key, job_results[job], canonical)
+
+        return [
+            self._finish_conv_result(
+                spec,
+                cached if cached is not None else job_results[job],
+                key,
+                resolved,
+                layout,
+            )
+            for spec, resolved, key, cached, job in entries
+        ]
+
+    def simulate_gemm_batch(
+        self, shapes: Sequence[GemmShape], name: str = "gemm"
+    ) -> List[LayerResult]:
+        """Timing of many GEMM primitives through the batched engine.
+
+        Bit-identical per shape to :meth:`simulate_gemm`, with the same
+        cache accounting as the equivalent per-shape loop.
+        """
+        shapes = list(shapes)
+        if not shapes:
+            return []
+        cfg = config_key(self.config)
+        entries = []
+        jobs: List[GemmShape] = []
+        job_keys: List[tuple] = []
+        pending: Dict[tuple, int] = {}
+        for shape in shapes:
+            key = ("tpu-gemm", cfg, shape.m, shape.n, shape.k)
+            cached = None
+            job = None
+            if SIM_CACHE.enabled:
+                found, value = SIM_CACHE.probe(key)
+                if found:
+                    cached = value
+                else:
+                    job = pending.get(key)
+                    if job is not None:
+                        SIM_CACHE.note_pending_hit()
+                    else:
+                        job = len(jobs)
+                        pending[key] = job
+                        jobs.append(shape)
+                        job_keys.append(key)
+            else:
+                job = len(jobs)
+                jobs.append(shape)
+                job_keys.append(key)
+            entries.append((shape, key, cached, job))
+
+        job_results: List[LayerResult] = []
+        if jobs:
+            with trace.span("tpu.gemm.batch", jobs=len(jobs), shapes=len(shapes)):
+                schedules = perf_batch.gemm_schedule_batch(
+                    jobs, self.config, self.engine
+                )
+                outcomes = perf_batch.execute_schedule_batch(schedules)
+            for shape, key, outcome in zip(jobs, job_keys, outcomes):
+                result = self._layer_result(name, shape.macs, outcome, 1)
+                SIM_CACHE.store(key, result)
+                job_results.append(result)
+
+        out: List[LayerResult] = []
+        for shape, key, cached, job in entries:
+            result = cached if cached is not None else job_results[job]
+            if result.name != name:
+                result = dataclasses.replace(result, name=name)
+            if audit.enabled():
+                from ..audit import invariants as audit_invariants
+
+                audit_invariants.check_tpu_gemm(shape, self.config, result)
+            if audit.full():
+                from ..audit import differential as audit_differential
+
+                audit_differential.verify_gemm_layer(
+                    key, shape, self.config, self.engine, result
+                )
+            trace_metrics.record_layer("tpu.gemm", result, key=key)
+            out.append(result)
+        return out
 
     def simulate_gemm(self, shape: GemmShape, name: str = "gemm") -> LayerResult:
         """Timing of a plain GEMM primitive (Fig 13a, Fig 4 reference)."""
@@ -201,8 +403,16 @@ class TPUSim:
         return result
 
     def simulate_network(self, name: str, layers: Sequence[ConvSpec]) -> NetworkResult:
+        layers = list(layers)
         with trace.span("tpu.network.simulate", network=name, layers=len(layers)):
-            results = [self.simulate_conv(layer) for layer in layers]
+            if all(type(layer) is ConvSpec for layer in layers):
+                # Fast path: one batched construction + pricing pass for the
+                # whole network (bit-identical per layer, same cache stream).
+                results = self.simulate_conv_batch(layers)
+            else:
+                # Fallback for spec subclasses the batcher must not assume
+                # anything about.
+                results = [self.simulate_conv(layer) for layer in layers]
         return NetworkResult(name=name, layers=results)
 
     def _layer_result(
