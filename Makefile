@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke audit-smoke fuzz-smoke ci all
+.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke audit-smoke fuzz-smoke store-stress serve-smoke ci all
 
 export PYTHONPATH := src
 
@@ -56,6 +56,12 @@ audit-smoke:
 fuzz-smoke:
 	python -m repro fuzz --specs 200 --seed 0 --no-corpus
 
+store-stress:
+	python -m pytest -q tests/store/
+
+serve-smoke:
+	python tools/serve_smoke.py
+
 ci:
 	python -m pytest -x -q -m "not goldens" tests/
 	python -m pytest -q -m goldens tests/
@@ -63,5 +69,7 @@ ci:
 	python tools/fault_smoke.py
 	python -m repro run fig13 --audit full
 	python -m repro fuzz --specs 200 --seed 0 --no-corpus
+	python -m pytest -q tests/store/
+	python tools/serve_smoke.py
 
 all: test bench experiments

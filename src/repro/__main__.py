@@ -16,6 +16,13 @@ Commands:
 - ``list-networks`` — the available workload tables.
 - ``sentinel`` — the perf-regression gate over ``BENCH_history.jsonl`` and
   the trace goldens (same engine as ``tools/check_regression.py``).
+- ``serve [--port P] [--store DIR] [--max-pending N]`` — a long-lived
+  asyncio daemon answering ConvSpec timing queries over HTTP/JSON with
+  in-flight dedup, engine batching, 429 load shedding and ``/metrics``
+  (see :mod:`repro.store.serve`).
+- ``store verify|stats|compact DIR`` — integrity-scan, describe, or
+  LRU-compact a persistent result store (``run --store DIR`` creates one;
+  see :mod:`repro.store`).
 - ``fuzz [--specs N] [--seed S] [--corpus DIR] [--inject-faults SPEC]`` —
   run random conv specs under full audit; failures are shrunk to minimal
   reproducers and appended crash-safely to ``tests/audit/corpus/``.
@@ -126,6 +133,8 @@ def _runner_argv(args) -> List[str]:
         argv.extend(["--inject-faults", args.inject_faults])
     if getattr(args, "audit", "off") != "off":
         argv.extend(["--audit", args.audit])
+    if getattr(args, "store", None) is not None:
+        argv.extend(["--store", args.store])
     return argv
 
 
@@ -210,6 +219,52 @@ def cmd_sentinel(args) -> int:
     return run_sentinel(args=args)
 
 
+def cmd_serve(args) -> int:
+    from .store.serve import serve_main
+
+    argv = ["--host", args.host, "--port", str(args.port),
+            "--max-pending", str(args.max_pending),
+            "--batch-window", str(args.batch_window),
+            "--max-batch", str(args.max_batch)]
+    if args.store:
+        argv.extend(["--store", args.store])
+    return serve_main(argv)
+
+
+def cmd_store(args) -> int:
+    from .store import ResultStore
+
+    store = ResultStore(args.dir)
+    if args.store_command == "verify":
+        report = store.verify()
+        for problem in report.problems:
+            obs_log.console(f"CORRUPT {problem.path}: {problem.reason}")
+        obs_log.console(
+            f"store verify: {report.ok}/{report.scanned} records ok, "
+            f"{len(report.problems)} problem(s) at {store.root}"
+        )
+        return 0 if report.clean else 1
+    if args.store_command == "stats":
+        info = store.describe()
+        obs_log.console(
+            f"store at {info['root']}: {info['entries']} records in "
+            f"{info['shards']} shard(s), {info['bytes']:,} bytes "
+            f"(schema {info['schema']})"
+        )
+        return 0
+    if args.store_command == "compact":
+        report = store.compact(
+            max_entries=args.max_entries, max_bytes=args.max_bytes
+        )
+        obs_log.console(
+            f"store compact: kept {report.kept}, removed {report.removed} "
+            f"of {report.scanned} records "
+            f"({report.bytes_before:,} -> {report.bytes_after:,} bytes)"
+        )
+        return 0
+    raise AssertionError(f"unhandled store command {args.store_command!r}")
+
+
 def cmd_fuzz(args) -> int:
     from .audit.fuzz import run_fuzz
 
@@ -267,6 +322,9 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--audit", choices=("off", "cheap", "full"), default="off",
                    help="runtime invariant auditing ('full' adds per-layer "
                    "cross-model differential checks; default off)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="persistent on-disk result store backing the "
+                   "simulation cache (shared across processes and runs)")
     p.set_defaults(func=cmd_experiments)
 
 
@@ -319,6 +377,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_sentinel_args(p)
     p.set_defaults(func=cmd_sentinel)
+
+    p = sub.add_parser(
+        "serve", parents=[obs_parent],
+        help="serve conv-timing queries over HTTP/JSON (asyncio daemon "
+        "with request dedup, batching, load shedding and /metrics)",
+    )
+    from .store.serve import ServeConfig as _ServeDefaults
+
+    defaults = _ServeDefaults()
+    p.add_argument("--host", default=defaults.host)
+    p.add_argument("--port", type=int, default=defaults.port,
+                   help=f"listen port (default {defaults.port}; 0 = ephemeral)")
+    p.add_argument("--store", default="", metavar="DIR",
+                   help="persistent result store to warm-start from")
+    p.add_argument("--max-pending", type=int, default=defaults.max_pending,
+                   help="pending-query budget before 429 load shedding")
+    p.add_argument("--batch-window", type=float,
+                   default=defaults.batch_window_s, metavar="S",
+                   help="coalescing window before each engine batch")
+    p.add_argument("--max-batch", type=int, default=defaults.max_batch,
+                   help="queries per simulate_conv_batch call at most")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "store", parents=[obs_parent],
+        help="inspect/maintain a persistent result store "
+        "(verify | stats | compact)",
+    )
+    store_sub = p.add_subparsers(dest="store_command", required=True)
+    for name, text in (
+        ("verify", "full integrity scan; exit 1 if any record is corrupt"),
+        ("stats", "record/shard/byte counts of the store"),
+        ("compact", "LRU-evict records beyond --max-entries/--max-bytes"),
+    ):
+        sp = store_sub.add_parser(name, parents=[obs_parent], help=text)
+        sp.add_argument("dir", help="store directory")
+        if name == "compact":
+            sp.add_argument("--max-entries", type=int, default=None,
+                            help="records to keep at most (newest first)")
+            sp.add_argument("--max-bytes", type=int, default=None,
+                            help="total record bytes to keep at most")
+        sp.set_defaults(func=cmd_store)
 
     p = sub.add_parser(
         "fuzz", parents=[obs_parent],

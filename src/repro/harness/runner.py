@@ -212,6 +212,14 @@ def _run_with_telemetry(
     the process-global tracer/registry/cache belong to *this* process, so
     resetting them here is safe and gives each experiment a clean window.
     """
+    if os.environ.get("REPRO_STORE_DIR"):
+        # --store exports the directory before workers spawn, so every
+        # process (parent or pool) backs its memo cache with the same
+        # persistent store.  Guarded on the env var: flagless runs never
+        # import repro.store at all.
+        from ..store import attach_from_env
+
+        attach_from_env()
     SIM_CACHE.reset_stats()
     obs_log.debug("experiment.start", experiment=experiment_id, quick=quick)
     auditing = audit_level != "off"
@@ -533,6 +541,13 @@ def harness_metrics(
     registry.inc_counter("repro_experiment_failures_total", failures)
     registry.inc_counter("repro_sim_cache_hits_total", telemetry.cache.hits)
     registry.inc_counter("repro_sim_cache_misses_total", telemetry.cache.misses)
+    if telemetry.cache.persistent_hits or os.environ.get("REPRO_STORE_DIR"):
+        # Store series appear only on store-backed runs, keeping flagless
+        # metrics.prom files byte-identical to the pre-store harness.
+        registry.inc_counter(
+            "repro_sim_cache_persistent_hits_total",
+            telemetry.cache.persistent_hits,
+        )
     lookups = telemetry.cache.hits + telemetry.cache.misses
     registry.inc_counter("repro_layers_simulated_total", lookups)
     registry.set_gauge("repro_sim_cache_entries", telemetry.cache.entries)
@@ -567,6 +582,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="print per-run simulation-cache hit/miss statistics "
         "(aggregated across workers under --jobs)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="back the simulation cache with a persistent on-disk result "
+        "store at DIR (content-addressed, shared across processes and "
+        "runs; see repro.store)",
     )
     parser.add_argument(
         "--trace",
@@ -676,6 +699,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}"
             )
     tracing = args.trace is not None
+    if args.store:
+        # Export before any worker spawns; _run_with_telemetry attaches in
+        # whichever process it runs in (parent and every pool worker).
+        os.environ["REPRO_STORE_DIR"] = os.path.abspath(args.store)
     resilient = (
         args.checkpoint
         or args.resume is not None
@@ -821,6 +848,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"/ {stats.misses} misses "
                 f"({stats.hit_rate:.0%} hit rate, {stats.entries} entries)"
             )
+            if os.environ.get("REPRO_STORE_DIR"):
+                from ..store import attach_from_env
+
+                store = attach_from_env()
+                obs_log.console(
+                    f"persistent store: {stats.persistent_hits} hits, "
+                    f"{len(store)} records at {store.root}"
+                )
         if args.audit != "off":
             # Experiments that *raised* AuditFault never shipped their
             # counter window back, so count those failures as violations.

@@ -41,6 +41,18 @@ HELP_TEXT: Dict[str, str] = {
     "repro_layer_cycles_total": "Simulated cycles recorded, by instrumentation source.",
     "repro_layer_exposed_dma_cycles_total": "Exposed (non-overlapped) DMA cycles, by source.",
     "repro_layer_records_total": "Per-layer cycle records captured, by source.",
+    "repro_sim_cache_persistent_hits_total": "Cache lookups served by the persistent result store in this run.",
+    "repro_store_hit_rate": "Persistent result-store hit rate (hits / lookups).",
+    "repro_store_corrupt_skipped": "Corrupt store records skipped (recomputed) so far.",
+    "repro_serve_requests_total": "Timing queries admitted by the serve daemon.",
+    "repro_serve_deduped_total": "Queries answered by an identical in-flight query's future.",
+    "repro_serve_shed_total": "Queries refused with 429 because the pending budget was exhausted.",
+    "repro_serve_batches_total": "simulate_conv_batch calls issued by the serve batcher.",
+    "repro_serve_simulations_total": "Fresh simulations performed by the serve batcher (memo/store hits excluded).",
+    "repro_serve_request_seconds": "End-to-end serve request latency distribution.",
+    "repro_serve_batch_seconds": "Engine wall time per served batch.",
+    "repro_serve_pending": "Queries currently in flight in the serve daemon.",
+    "repro_serve_draining": "1 while the serve daemon is draining for shutdown.",
 }
 
 

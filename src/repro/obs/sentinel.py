@@ -61,6 +61,7 @@ _DIRECTIONS = (
     ("simulate_conv_layers_per_second.", "down"),
     ("cache.hit_rate", "down"),
     ("cache.canonical_hit_rate", "down"),
+    ("store.hit_rate", "down"),
 )
 
 

@@ -59,14 +59,17 @@ class CacheStats:
     """Hit/miss counters of one cache (or the global one).
 
     ``canonical_hits`` counts the subset of ``hits`` served through a
-    canonical (symmetry-folded) key rather than the exact key; exact-key
-    hits are therefore ``hits - canonical_hits``.
+    canonical (symmetry-folded) key rather than the exact key, and
+    ``persistent_hits`` the subset served by the attached on-disk store
+    (:mod:`repro.store`) after both in-memory keys missed; exact in-memory
+    hits are therefore ``hits - canonical_hits - persistent_hits``.
     """
 
     hits: int
     misses: int
     entries: int
     canonical_hits: int = 0
+    persistent_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -75,7 +78,7 @@ class CacheStats:
 
     @property
     def exact_hits(self) -> int:
-        return self.hits - self.canonical_hits
+        return self.hits - self.canonical_hits - self.persistent_hits
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
         """Aggregate stats across runs/processes.
@@ -90,6 +93,7 @@ class CacheStats:
             misses=self.misses + other.misses,
             entries=self.entries + other.entries,
             canonical_hits=self.canonical_hits + other.canonical_hits,
+            persistent_hits=self.persistent_hits + other.persistent_hits,
         )
 
 
@@ -110,9 +114,19 @@ class SimulationCache:
     and the exact key is aliased to the shared value; computed values are
     stored under both keys.  ``entries`` counts distinct stored results, not
     aliases.
+
+    An on-disk :class:`~repro.store.ResultStore` may be attached as
+    ``backing`` (``repro.store.attach``): a probe that misses both in-memory
+    keys then consults the store (exact + canonical digest), counts the
+    serve as a ``persistent_hit``, and installs the value in memory; every
+    computed value is written through.  With no backing attached (the
+    default) behaviour is bit-for-bit unchanged.
     """
 
-    __slots__ = ("_store", "_aliases", "hits", "misses", "canonical_hits", "enabled")
+    __slots__ = (
+        "_store", "_aliases", "hits", "misses", "canonical_hits",
+        "persistent_hits", "enabled", "backing",
+    )
 
     def __init__(self, enabled: bool = True):
         self._store: dict = {}
@@ -120,7 +134,9 @@ class SimulationCache:
         self.hits = 0
         self.misses = 0
         self.canonical_hits = 0
+        self.persistent_hits = 0
         self.enabled = enabled
+        self.backing = None  # Optional[repro.store.ResultStore]
 
     def get_or_compute(
         self,
@@ -159,6 +175,16 @@ class SimulationCache:
                 self._store[key] = value
                 self._aliases += 1
                 return True, value
+        if self.backing is not None:
+            found, value, _ = self.backing.load(key, canonical_key)
+            if found:
+                self.hits += 1
+                self.persistent_hits += 1
+                self._store[key] = value
+                if canonical_key is not None and canonical_key != key:
+                    if self._store.setdefault(canonical_key, value) is value:
+                        self._aliases += 1
+                return True, value
         self.misses += 1
         return False, None
 
@@ -183,6 +209,8 @@ class SimulationCache:
         if canonical_key is not None and canonical_key != key:
             if self._store.setdefault(canonical_key, value) is value:
                 self._aliases += 1
+        if self.backing is not None:
+            self.backing.save(key, value, canonical_key)
 
     def clear(self) -> None:
         self._store.clear()
@@ -190,6 +218,7 @@ class SimulationCache:
         self.hits = 0
         self.misses = 0
         self.canonical_hits = 0
+        self.persistent_hits = 0
 
     def reset_stats(self) -> None:
         """Zero the hit/miss counters without dropping cached entries.
@@ -201,6 +230,7 @@ class SimulationCache:
         self.hits = 0
         self.misses = 0
         self.canonical_hits = 0
+        self.persistent_hits = 0
 
     def __len__(self) -> int:
         return len(self._store) - self._aliases
@@ -212,6 +242,7 @@ class SimulationCache:
             misses=self.misses,
             entries=len(self),
             canonical_hits=self.canonical_hits,
+            persistent_hits=self.persistent_hits,
         )
 
 

@@ -25,6 +25,12 @@ of hoping production hits them first.  Faults come in three groups:
 - **Checkpoint faults**: ``corrupt-checkpoint@I`` truncates the journal
   record of task ``I`` as it is written, so resume's skip-and-warn path is
   exercised end to end.
+- **Store faults**: ``corrupt-store`` (or ``corrupt-store=MODE`` with
+  ``truncate``/``checksum``/``schema``/``torn``/``any``) damages persistent
+  result-store records as :mod:`repro.store` writes them — which record gets
+  which damage is drawn deterministically from the seed and the record's
+  digest — so the store's checksum/schema verification and skip-and-warn
+  recompute path are provable in CI.
 - **Audit faults**: ``audit-break=INVARIANT`` deliberately flips the named
   audit invariant (or every one, with ``audit-break=any``) to *failed* the
   moment :mod:`repro.audit` evaluates it, so the catch → shrink → corpus
@@ -59,6 +65,9 @@ __all__ = [
 #: sane ``--task-timeout``, while still bounded if nothing ever kills it.
 HANG_SECONDS = 3600.0
 
+#: Damage modes ``corrupt-store`` can apply to a persistent record.
+STORE_CORRUPTION_MODES = ("truncate", "checksum", "schema", "torn")
+
 
 @dataclasses.dataclass
 class FaultPlan:
@@ -75,6 +84,8 @@ class FaultPlan:
     sram_latency_factor: float = 1.0
     sram_capacity_factor: float = 1.0
     corrupt_checkpoint: Set[int] = dataclasses.field(default_factory=set)
+    #: Store-record damage mode ("" = off; "any" picks per record).
+    corrupt_store: str = ""
     #: Audit invariant id to break deliberately ("any" matches them all).
     audit_break: str = ""
     spec: str = ""
@@ -90,6 +101,9 @@ class FaultPlan:
         for token in spec.split(","):
             token = token.strip()
             if not token:
+                continue
+            if token == "corrupt-store":
+                plan.corrupt_store = "any"
                 continue
             if "@" in token:
                 name, _, target = token.partition("@")
@@ -127,6 +141,16 @@ class FaultPlan:
                             field="--inject-faults", value=token,
                         )
                     plan.audit_break = raw
+                    continue
+                if name == "corrupt-store":
+                    # String-valued: one damage mode, or "any" to rotate.
+                    if raw not in STORE_CORRUPTION_MODES + ("any",):
+                        raise ConfigError(
+                            "corrupt-store mode must be one of "
+                            + "/".join(STORE_CORRUPTION_MODES + ("any",)),
+                            field="--inject-faults", value=token,
+                        )
+                    plan.corrupt_store = raw
                     continue
                 try:
                     value = float(raw)
@@ -229,6 +253,21 @@ class FaultPlan:
             self._count("audit_break")
             return True
         return False
+
+    # -------------------------------------------------------- store faults
+    def store_corruption(self, digest: str) -> Optional[str]:
+        """Damage mode for a persistent record being written, or None.
+
+        Deterministic per (seed, digest): the same plan corrupts the same
+        records the same way on every run, so corruption tests replay.
+        """
+        if not self.corrupt_store:
+            return None
+        self._count("store_corrupted")
+        if self.corrupt_store != "any":
+            return self.corrupt_store
+        rng = random.Random(f"{self.seed}:store:{digest}")
+        return rng.choice(STORE_CORRUPTION_MODES)
 
     # --------------------------------------------------- checkpoint faults
     def should_corrupt_checkpoint(self, index: int) -> bool:

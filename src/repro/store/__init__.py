@@ -1,0 +1,102 @@
+"""Persistent, sharded, content-addressed result store (DESIGN.md §4i).
+
+The in-process memo cache (:mod:`repro.perf.cache`) dies with the process;
+this package gives it a cross-process warm-start tier.  Attach a
+:class:`ResultStore` with :func:`attach` (or :func:`attach_from_env`, which
+honours :data:`ENV_VAR` so ``--store DIR`` reaches pool workers) and every
+simulation memo miss falls through to disk — exact digest, then canonical
+symmetry-folded digest — with computed values written through atomically.
+
+Nothing here is imported by the hot path unless a store is attached:
+``perf/cache.py`` only holds an optional ``backing`` reference, so flagless
+runs are byte-identical with or without this package on disk.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Optional, Union
+
+from .codec import ALLOWED_MODULES, CodecError, decode_value, encode_value
+from .store import (
+    STORE_SCHEMA,
+    CompactReport,
+    RecordProblem,
+    ResultStore,
+    StoreStats,
+    VerifyReport,
+    key_digest,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "STORE_SCHEMA",
+    "ALLOWED_MODULES",
+    "CodecError",
+    "encode_value",
+    "decode_value",
+    "ResultStore",
+    "StoreStats",
+    "RecordProblem",
+    "VerifyReport",
+    "CompactReport",
+    "key_digest",
+    "attach",
+    "attach_from_env",
+    "attached",
+    "detach",
+]
+
+#: Environment variable naming the store directory.  Set by ``repro run
+#: --store DIR`` before workers fork, so every pool process attaches the
+#: same store.
+ENV_VAR = "REPRO_STORE_DIR"
+
+
+def attached() -> Optional[ResultStore]:
+    """The store currently backing the global simulation cache, if any."""
+    from ..perf.cache import SIM_CACHE
+
+    return SIM_CACHE.backing
+
+
+def attach(store_or_dir: Union[ResultStore, str, os.PathLike]) -> ResultStore:
+    """Back the global simulation cache with a persistent store.
+
+    Accepts an existing :class:`ResultStore` or a directory path (created
+    if missing).  Returns the attached store.
+    """
+    from ..perf.cache import SIM_CACHE
+
+    if isinstance(store_or_dir, ResultStore):
+        store = store_or_dir
+    else:
+        store = ResultStore(store_or_dir)
+    SIM_CACHE.backing = store
+    return store
+
+
+def detach() -> Optional[ResultStore]:
+    """Detach the persistent tier (returns it so callers can read stats)."""
+    from ..perf.cache import SIM_CACHE
+
+    store = SIM_CACHE.backing
+    SIM_CACHE.backing = None
+    return store
+
+
+def attach_from_env() -> Optional[ResultStore]:
+    """Attach the store named by :data:`ENV_VAR`, if set.
+
+    Idempotent: re-attaching the same directory keeps the existing handle
+    (and its stats); a different directory replaces it.  Returns the active
+    store, or None when the variable is unset/empty.
+    """
+    directory = os.environ.get(ENV_VAR, "").strip()
+    if not directory:
+        return attached()
+    current = attached()
+    if current is not None and current.root == pathlib.Path(directory):
+        return current
+    return attach(directory)

@@ -1,0 +1,157 @@
+"""JSON codec for cached simulation results: exact, typed, whitelisted.
+
+The persistent store holds the same frozen-dataclass values the in-process
+memo cache holds (:class:`~repro.systolic.simulator.LayerResult`, the GPU
+timing results, ...).  They must round-trip **bit-exactly** — a served
+record feeds the same report renderers and audits as a fresh computation —
+so the codec leans on two guarantees:
+
+- Python's ``json`` emits floats with ``repr``, the shortest string that
+  round-trips the IEEE double exactly, and parses them back to the same
+  bits; ints are arbitrary-precision both ways.
+- Structure is encoded *with its type*: a dataclass becomes
+  ``{"__dc__": [module, qualname], "fields": {...}}``, an enum becomes
+  ``{"__enum__": [module, qualname], "value": ...}``, tuples are tagged so
+  they do not come back as lists.
+
+Decoding resolves types only from :data:`ALLOWED_MODULES` — the closed set
+of modules that define cacheable result types — so a store file can never
+cause an arbitrary import or construct an unexpected class.  A value the
+codec cannot express (e.g. one holding a numpy array) raises
+:class:`CodecError`; the store counts it and simply does not persist it,
+which is always safe (the entry stays memoized in process).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import importlib
+from typing import Any
+
+__all__ = ["CodecError", "ALLOWED_MODULES", "encode_value", "decode_value"]
+
+
+class CodecError(ValueError):
+    """A value (or record) the result codec cannot faithfully handle."""
+
+
+#: Modules cacheable result types may come from.  Decoding refuses any
+#: other module, so records cannot trigger arbitrary imports.
+ALLOWED_MODULES = frozenset(
+    {
+        "repro.systolic.simulator",
+        "repro.systolic.explicit_schedule",
+        "repro.systolic.scheduler",
+        "repro.core.conv_spec",
+        "repro.core.layouts",
+        "repro.gpu.blocked_gemm",
+        "repro.gpu.tensor_core",
+        "repro.gpu.shared_memory",
+        "repro.gpu.channel_first",
+        "repro.gpu.channel_last",
+        "repro.gpu.explicit",
+        "repro.gpu.cudnn_model",
+        "repro.gpu.functional",
+        "repro.analysis.roofline",
+    }
+)
+
+
+def _type_ref(cls: type) -> list:
+    module = cls.__module__
+    if module not in ALLOWED_MODULES:
+        raise CodecError(
+            f"type {cls.__qualname__} lives in {module}, which is not an "
+            f"allowed result-type module"
+        )
+    return [module, cls.__qualname__]
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a cached value into JSON-serialisable structure."""
+    if value is None or isinstance(value, (bool, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return {"__enum__": _type_ref(type(value)), "value": encode_value(value.value)}
+    if isinstance(value, int):  # bool handled above
+        return int(value)
+    if isinstance(value, float):  # includes np.float64 (a float subclass)
+        return float(value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dc__": _type_ref(type(value)),
+            "fields": {
+                f.name: encode_value(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    item = getattr(value, "item", None)  # numpy scalars not covered above
+    if callable(item):
+        try:
+            return encode_value(item())
+        except (TypeError, ValueError):
+            pass
+    raise CodecError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _resolve_type(ref: Any) -> type:
+    if (
+        not isinstance(ref, (list, tuple))
+        or len(ref) != 2
+        or not all(isinstance(part, str) for part in ref)
+    ):
+        raise CodecError(f"malformed type reference {ref!r}")
+    module_name, qualname = ref
+    if module_name not in ALLOWED_MODULES:
+        raise CodecError(f"module {module_name!r} is not an allowed result module")
+    module = importlib.import_module(module_name)
+    obj: Any = module
+    for part in qualname.split("."):
+        obj = getattr(obj, part, None)
+        if obj is None:
+            raise CodecError(f"unknown type {qualname!r} in {module_name}")
+    if not isinstance(obj, type):
+        raise CodecError(f"{module_name}.{qualname} is not a type")
+    return obj
+
+
+def decode_value(obj: Any) -> Any:
+    """Decode :func:`encode_value` output back into the original value."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, list):
+        return [decode_value(v) for v in obj]
+    if isinstance(obj, dict):
+        if "__tuple__" in obj:
+            return tuple(decode_value(v) for v in obj["__tuple__"])
+        if "__enum__" in obj:
+            cls = _resolve_type(obj["__enum__"])
+            if not issubclass(cls, enum.Enum):
+                raise CodecError(f"{cls.__qualname__} is not an enum")
+            return cls(decode_value(obj.get("value")))
+        if "__dc__" in obj:
+            cls = _resolve_type(obj["__dc__"])
+            if not dataclasses.is_dataclass(cls):
+                raise CodecError(f"{cls.__qualname__} is not a dataclass")
+            fields = obj.get("fields")
+            if not isinstance(fields, dict):
+                raise CodecError("dataclass record has no field map")
+            known = {f.name for f in dataclasses.fields(cls)}
+            if set(fields) - known:
+                raise CodecError(
+                    f"unknown fields for {cls.__qualname__}: "
+                    f"{sorted(set(fields) - known)}"
+                )
+            try:
+                return cls(**{k: decode_value(v) for k, v in fields.items()})
+            except TypeError as err:
+                raise CodecError(
+                    f"cannot rebuild {cls.__qualname__}: {err}"
+                ) from None
+        raise CodecError(f"unrecognised structure keys {sorted(obj)!r}")
+    raise CodecError(f"cannot decode value of type {type(obj).__name__}")

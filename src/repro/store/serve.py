@@ -1,0 +1,622 @@
+"""``repro serve`` — a long-lived conv-timing daemon over HTTP/JSON.
+
+A stdlib-``asyncio`` front-end for the simulation stack: clients POST a
+ConvSpec (plus optional hardware-config overrides) and get back the same
+:class:`~repro.systolic.simulator.LayerResult` numbers a ``repro run``
+would compute — served from the in-process memo, the persistent store
+(:mod:`repro.store`), or a fresh batched simulation, in that order.
+
+Request handling is built for fleets of duplicate queries:
+
+- **dedup**: queries are keyed by the simulator's own cache key; a query
+  identical to one already in flight awaits the same future — N clients
+  asking for ResNet conv3_1 cost one simulation;
+- **batching**: queued queries are drained every ``batch_window_s`` (or
+  when ``max_batch`` accumulate) and grouped by hardware config into
+  single :meth:`TPUSim.simulate_conv_batch` calls, so the batched
+  schedule engine amortizes pricing exactly as the harness does;
+- **load shedding**: admission consults the service's
+  :class:`~repro.resilience.supervisor.ErrorBudget` — when the pending
+  backlog exceeds the configured budget the query is refused with HTTP
+  429 (and counted as a ``LoadShed`` fault) instead of growing the queue
+  without bound;
+- **graceful drain**: shutdown stops admitting (503), finishes every
+  in-flight simulation, and answers the clients that were already queued.
+
+Endpoints: ``GET /healthz``, ``GET /metrics`` (Prometheus exposition of
+the live registry), ``POST /v1/conv`` (one query), ``POST /v1/conv/batch``
+(``{"queries": [...]}``).  Everything is stdlib-only — no web framework.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import dataclasses
+import json
+import signal
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.conv_spec import ConvSpec
+from ..core.layouts import Layout
+from ..errors import ConfigError
+from ..obs import log as obs_log
+from ..obs.prom import render_prometheus
+from ..perf.cache import config_key, spec_key
+from ..resilience.supervisor import ErrorBudget
+from ..systolic.config import TPU_V2, TPUConfig
+from ..systolic.simulator import TPUSim, tpu_multi_tile_policy
+from ..trace.metrics import MetricsRegistry
+
+__all__ = [
+    "ServeConfig",
+    "BadRequest",
+    "LoadShed",
+    "Draining",
+    "Query",
+    "SimulationService",
+    "ReproServer",
+    "http_request",
+    "result_payload",
+    "serve_main",
+    "build_parser",
+]
+
+#: ConvSpec fields a query's ``spec`` object may set.
+SPEC_FIELDS = frozenset(
+    {"n", "c_in", "h_in", "w_in", "c_out", "h_filter", "w_filter",
+     "stride", "padding", "dilation", "name"}
+)
+
+#: TPUConfig scalar fields a query's ``config`` object may override.
+CONFIG_FIELDS = frozenset(
+    {"array_rows", "array_cols", "clock_ghz", "sram_word_elems",
+     "sram_elem_bytes", "unified_sram_bytes", "vector_alus",
+     "compute_elem_bytes", "weight_load_cycles_per_row",
+     "tile_setup_cycles", "weight_double_buffer"}
+)
+
+
+class BadRequest(ValueError):
+    """The request body cannot be turned into a simulation query."""
+
+
+class LoadShed(RuntimeError):
+    """Admission refused: the pending backlog exceeds the error budget."""
+
+
+class Draining(RuntimeError):
+    """Admission refused: the server is shutting down."""
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Tunables of one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 8707
+    #: Pending-query budget; admission beyond it sheds with HTTP 429.
+    max_pending: int = 256
+    #: Seconds the batcher waits to let concurrent queries coalesce.
+    batch_window_s: float = 0.005
+    #: Queries drained into one ``simulate_conv_batch`` call at most.
+    max_batch: int = 64
+    #: Persistent store directory ("" = serve from memo only).
+    store_dir: str = ""
+
+
+@dataclasses.dataclass(frozen=True)
+class Query:
+    """One admitted, validated timing query."""
+
+    spec: ConvSpec
+    config: TPUConfig
+    group_size: Optional[int]
+    layout: Layout
+    key: Tuple  # the simulator's exact cache key — also the dedup key
+
+    @classmethod
+    def parse(cls, payload: Any) -> "Query":
+        """Validate a JSON body into a query (raises :class:`BadRequest`)."""
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        raw_spec = payload.get("spec")
+        if not isinstance(raw_spec, dict):
+            raise BadRequest("missing 'spec' object")
+        unknown = set(raw_spec) - SPEC_FIELDS
+        if unknown:
+            raise BadRequest(f"unknown spec fields: {sorted(unknown)}")
+        overrides = payload.get("config", {})
+        if not isinstance(overrides, dict):
+            raise BadRequest("'config' must be an object of TPUConfig overrides")
+        unknown = set(overrides) - CONFIG_FIELDS
+        if unknown:
+            raise BadRequest(f"unknown config fields: {sorted(unknown)}")
+        raw_layout = payload.get("layout", Layout.NHWC.value)
+        try:
+            layout = Layout(raw_layout)
+        except ValueError:
+            raise BadRequest(f"unknown layout {raw_layout!r}") from None
+        group_size = payload.get("group_size")
+        if group_size is not None and (
+            not isinstance(group_size, int) or group_size <= 0
+        ):
+            raise BadRequest("'group_size' must be a positive integer")
+        try:
+            spec = ConvSpec(**raw_spec)
+            if overrides:
+                if "array_rows" in overrides and "num_vector_memories" not in overrides:
+                    # TPUConfig ties one vector memory to each PE row.
+                    overrides = dict(
+                        overrides, num_vector_memories=overrides["array_rows"]
+                    )
+                config = dataclasses.replace(TPU_V2, **overrides)
+            else:
+                config = TPU_V2
+        except (ConfigError, TypeError) as err:
+            raise BadRequest(str(err)) from None
+        resolved = (
+            group_size
+            if group_size is not None
+            else tpu_multi_tile_policy(spec, config.array_rows)
+        )
+        key = ("tpu-conv", config_key(config), spec_key(spec), resolved, layout.value)
+        return cls(
+            spec=spec, config=config, group_size=group_size,
+            layout=layout, key=key,
+        )
+
+
+def result_payload(query: Query, result) -> Dict[str, Any]:
+    """JSON response body for one served LayerResult."""
+    clock_hz = query.config.clock_ghz * 1e9
+    return {
+        "name": result.name,
+        "cycles": result.cycles,
+        "seconds": result.cycles / clock_hz,
+        "tflops": result.tflops,
+        "utilization": result.utilization,
+        "compute_cycles": result.compute_cycles,
+        "dma_cycles": result.dma_cycles,
+        "exposed_dma_cycles": result.exposed_dma_cycles,
+        "macs": result.macs,
+        "group_size": result.group_size,
+        "layout": query.layout.value,
+    }
+
+
+class SimulationService:
+    """Dedups, batches, and prices admitted queries.
+
+    Owns the daemon's :class:`ErrorBudget`: every admitted query is a
+    task, sheds are failures of class ``LoadShed``, and the budget is
+    what ``/healthz`` and the final drain report expose.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.budget = ErrorBudget()
+        self.draining = False
+        self._sims: Dict[Tuple, TPUSim] = {}
+        self._inflight: Dict[Tuple, asyncio.Future] = {}
+        self._queue: List[Query] = []
+        self._wakeup: Optional[asyncio.Event] = None
+        self._batcher: Optional[asyncio.Task] = None
+        self.simulations = 0  # queries that reached the engine (post-dedup)
+
+    # ----------------------------------------------------------- lifecycle
+    async def start(self) -> None:
+        self._wakeup = asyncio.Event()
+        self._batcher = asyncio.create_task(self._batch_loop())
+
+    async def drain(self) -> None:
+        """Stop admitting, finish every queued/in-flight query, stop."""
+        self.draining = True
+        while self._queue or self._inflight:
+            if self._wakeup is not None:
+                self._wakeup.set()
+            await asyncio.sleep(self.config.batch_window_s)
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+
+    @property
+    def pending(self) -> int:
+        return len(self._inflight)
+
+    # ----------------------------------------------------------- admission
+    def submit(self, query: Query) -> asyncio.Future:
+        """Admit one query; returns the future its result resolves on.
+
+        Raises :class:`Draining` during shutdown and :class:`LoadShed`
+        when the pending backlog has exhausted the budget.
+        """
+        if self.draining:
+            raise Draining("server is draining")
+        self.registry.inc_counter("repro_serve_requests_total")
+        existing = self._inflight.get(query.key)
+        if existing is not None:
+            # Identical query already in flight: same future, no new task.
+            self.registry.inc_counter("repro_serve_deduped_total")
+            self.budget.tasks += 1
+            self.budget.succeeded += 1
+            return existing
+        if self.pending >= self.config.max_pending:
+            self.budget.tasks += 1
+            self.budget.failed += 1
+            self.budget.count_fault("LoadShed")
+            self.registry.inc_counter("repro_serve_shed_total")
+            raise LoadShed(
+                f"pending backlog {self.pending} exhausts the budget "
+                f"({self.config.max_pending})"
+            )
+        self.budget.tasks += 1
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._inflight[query.key] = future
+        self._queue.append(query)
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return future
+
+    # ------------------------------------------------------------ batching
+    def _sim_for(self, query: Query) -> TPUSim:
+        cfg_key = query.key[1]
+        sim = self._sims.get(cfg_key)
+        if sim is None:
+            sim = TPUSim(query.config)
+            self._sims[cfg_key] = sim
+        return sim
+
+    async def _batch_loop(self) -> None:
+        assert self._wakeup is not None
+        while True:
+            await self._wakeup.wait()
+            self._wakeup.clear()
+            if not self._queue:
+                continue
+            # Let a burst of concurrent clients coalesce into one batch.
+            await asyncio.sleep(self.config.batch_window_s)
+            batch = self._queue[: self.config.max_batch]
+            del self._queue[: len(batch)]
+            if self._queue:
+                self._wakeup.set()
+            await self._price_batch(batch)
+
+    async def _price_batch(self, batch: List[Query]) -> None:
+        # Group by (config, group_size mode, layout): one engine call each.
+        groups: Dict[Tuple, List[Query]] = {}
+        for query in batch:
+            group = (query.key[1], query.group_size, query.layout)
+            groups.setdefault(group, []).append(query)
+        from ..perf.cache import SIM_CACHE
+
+        loop = asyncio.get_running_loop()
+        for (_, group_size, layout), queries in groups.items():
+            sim = self._sim_for(queries[0])
+            specs = [q.spec for q in queries]
+            started = time.perf_counter()
+            misses_before = SIM_CACHE.misses
+            try:
+                results = await loop.run_in_executor(
+                    None,
+                    lambda: sim.simulate_conv_batch(
+                        specs, group_size=group_size, layout=layout
+                    ),
+                )
+            except Exception as err:  # pricing failed: fail those futures
+                for query in queries:
+                    self.budget.failed += 1
+                    self.budget.count_fault(type(err).__name__)
+                    future = self._inflight.pop(query.key, None)
+                    if future is not None and not future.done():
+                        future.set_exception(err)
+                obs_log.error(
+                    "serve.batch_failed", error=str(err), queries=len(queries)
+                )
+                continue
+            elapsed = time.perf_counter() - started
+            # "Simulations" = fresh engine work, not queries priced: a query
+            # answered from the memo or the persistent store is not one.
+            performed = SIM_CACHE.misses - misses_before
+            self.simulations += performed
+            self.registry.inc_counter("repro_serve_batches_total")
+            self.registry.inc_counter(
+                "repro_serve_simulations_total", float(performed)
+            )
+            self.registry.observe("repro_serve_batch_seconds", elapsed)
+            for query, result in zip(queries, results):
+                self.budget.succeeded += 1
+                future = self._inflight.pop(query.key, None)
+                if future is not None and not future.done():
+                    future.set_result(result)
+
+
+class ReproServer:
+    """The asyncio HTTP front-end around one :class:`SimulationService`."""
+
+    def __init__(self, service: SimulationService) -> None:
+        self.service = service
+        self._server: Optional[asyncio.base_events.Server] = None
+
+    # ------------------------------------------------------------ lifecycle
+    async def start(self) -> Tuple[str, int]:
+        await self.service.start()
+        config = self.service.config
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=config.host, port=config.port
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        obs_log.info("serve.listening", host=host, port=port)
+        return host, port
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def shutdown(self) -> None:
+        """Graceful drain: refuse new work, answer everything admitted."""
+        obs_log.info("serve.draining", pending=self.service.pending)
+        await self.service.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        obs_log.info("serve.stopped", budget=self.service.budget.to_dict())
+
+    # ------------------------------------------------------------- protocol
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path, body = request
+            status, content_type, payload = await self._route(method, path, body)
+        except Exception as err:  # never tear the connection on a bug
+            status, content_type, payload = 500, "application/json", json.dumps(
+                {"error": f"{type(err).__name__}: {err}"}
+            )
+        try:
+            data = payload.encode("utf-8")
+            writer.write(
+                (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(data)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode("ascii")
+                + data
+            )
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> Optional[Tuple[str, str, bytes]]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            return None
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return None
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, str, str]:
+        service = self.service
+        if method == "GET" and path == "/healthz":
+            return 200, "application/json", json.dumps(
+                {
+                    "status": "draining" if service.draining else "ok",
+                    "pending": service.pending,
+                    "budget": service.budget.to_dict(),
+                },
+                sort_keys=True,
+            )
+        if method == "GET" and path == "/metrics":
+            self._export_gauges()
+            return 200, "text/plain; version=0.0.4", render_prometheus(
+                service.registry
+            )
+        if method == "POST" and path == "/v1/conv":
+            return await self._answer(body, batch=False)
+        if method == "POST" and path == "/v1/conv/batch":
+            return await self._answer(body, batch=True)
+        return 404, "application/json", json.dumps({"error": f"no route {path}"})
+
+    def _export_gauges(self) -> None:
+        """Point-in-time serve state, refreshed at scrape time."""
+        registry = self.service.registry
+        registry.set_gauge("repro_serve_pending", float(self.service.pending))
+        registry.set_gauge(
+            "repro_serve_draining", 1.0 if self.service.draining else 0.0
+        )
+        from ..perf.cache import SIM_CACHE
+
+        stats = SIM_CACHE.stats
+        registry.set_gauge("repro_sim_cache_entries", float(stats.entries))
+        registry.set_gauge("repro_sim_cache_hit_rate", stats.hit_rate)
+        if SIM_CACHE.backing is not None:
+            store_stats = SIM_CACHE.backing.stats
+            registry.set_gauge("repro_store_hit_rate", store_stats.hit_rate)
+            registry.set_gauge(
+                "repro_store_corrupt_skipped", float(store_stats.corrupt_skipped)
+            )
+
+    async def _answer(self, body: bytes, batch: bool) -> Tuple[int, str, str]:
+        started = time.perf_counter()
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else None
+        except (json.JSONDecodeError, UnicodeDecodeError) as err:
+            return 400, "application/json", json.dumps({"error": f"bad JSON: {err}"})
+        try:
+            if batch:
+                if not isinstance(payload, dict) or not isinstance(
+                    payload.get("queries"), list
+                ):
+                    raise BadRequest("batch body must be {'queries': [...]}")
+                queries = [Query.parse(q) for q in payload["queries"]]
+            else:
+                queries = [Query.parse(payload)]
+        except BadRequest as err:
+            return 400, "application/json", json.dumps({"error": str(err)})
+        try:
+            futures = [self.service.submit(q) for q in queries]
+        except Draining as err:
+            return 503, "application/json", json.dumps({"error": str(err)})
+        except LoadShed as err:
+            return 429, "application/json", json.dumps({"error": str(err)})
+        results = await asyncio.gather(*futures)
+        self.service.registry.observe(
+            "repro_serve_request_seconds", time.perf_counter() - started
+        )
+        answers = [result_payload(q, r) for q, r in zip(queries, results)]
+        if batch:
+            return 200, "application/json", json.dumps(
+                {"results": answers}, sort_keys=True
+            )
+        return 200, "application/json", json.dumps(answers[0], sort_keys=True)
+
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: Optional[Any] = None,
+) -> Tuple[int, Any]:
+    """Minimal asyncio HTTP client: ``(status, decoded body)``.
+
+    Used by the integration tests and ``tools/serve_smoke.py`` so the
+    round-trip stays stdlib-only end to end.
+    """
+    body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(
+            (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {host}:{port}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                "Content-Type: application/json\r\n"
+                "Connection: close\r\n\r\n"
+            ).encode("ascii")
+            + body
+        )
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, data = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    text = data.decode("utf-8")
+    if b"application/json" in head:
+        return status, json.loads(text) if text else None
+    return status, text
+
+
+# ----------------------------------------------------------------- CLI entry
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve conv-timing queries over HTTP/JSON (stdlib asyncio).",
+    )
+    defaults = ServeConfig()
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument("--port", type=int, default=defaults.port,
+                        help=f"listen port (default {defaults.port}; 0 = ephemeral)")
+    parser.add_argument("--store", default="", metavar="DIR",
+                        help="persistent result store to warm-start from / write through to")
+    parser.add_argument("--max-pending", type=int, default=defaults.max_pending,
+                        help="pending-query budget before load-shedding (429)")
+    parser.add_argument("--batch-window", type=float, default=defaults.batch_window_s,
+                        metavar="S", help="coalescing window before each engine batch")
+    parser.add_argument("--max-batch", type=int, default=defaults.max_batch,
+                        help="queries per simulate_conv_batch call at most")
+    return parser
+
+
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    """Run the daemon until SIGINT/SIGTERM, then drain gracefully."""
+    args = build_parser().parse_args(argv)
+    config = ServeConfig(
+        host=args.host, port=args.port, max_pending=args.max_pending,
+        batch_window_s=args.batch_window, max_batch=args.max_batch,
+        store_dir=args.store,
+    )
+    if config.store_dir:
+        from . import attach
+
+        store = attach(config.store_dir)
+        print(f"serve: persistent store at {store.root} "
+              f"({len(store)} records)")
+
+    async def run() -> None:
+        service = SimulationService(config)
+        server = ReproServer(service)
+        host, port = await server.start()
+        print(f"serve: listening on http://{host}:{port} "
+              f"(max_pending={config.max_pending}, max_batch={config.max_batch})",
+              flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        await stop.wait()
+        await server.shutdown()
+        budget = service.budget
+        print(f"serve: drained; served {budget.succeeded}/{budget.tasks} "
+              f"(shed {budget.faults_by_class.get('LoadShed', 0)})")
+
+    asyncio.run(run())
+    return 0

@@ -1,0 +1,203 @@
+"""Corruption-injection matrix: every damage mode is detected, skipped,
+warned about, and healed by recomputation — never served.
+
+Damage is injected two ways: directly via ``_corrupt_bytes`` (unit-level)
+and through ``--inject-faults corrupt-store`` (the seeded fault plan the
+runner exposes), then audited with ``repro store verify``.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.conv_spec import ConvSpec
+from repro.perf.cache import SIM_CACHE, clear_cache
+from repro.resilience import faults
+from repro.resilience.faults import STORE_CORRUPTION_MODES, FaultPlan
+from repro.store import ResultStore, attach, detach, key_digest
+from repro.store.store import _corrupt_bytes
+from repro.systolic.simulator import TPUSim
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+SPEC = ConvSpec(
+    n=2, c_in=32, h_in=14, w_in=14, c_out=64, h_filter=3, w_filter=3,
+    stride=1, padding=1, name="corrupt",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    faults.deactivate()
+    detach()
+    clear_cache()
+    yield
+    faults.deactivate()
+    detach()
+    clear_cache()
+
+
+def _damage(store, key, mode):
+    path = store.record_path(key_digest(key))
+    path.write_bytes(_corrupt_bytes(path.read_bytes(), mode))
+    return path
+
+
+# ------------------------------------------------------- unit-level matrix
+@pytest.mark.parametrize("mode", STORE_CORRUPTION_MODES)
+def test_damaged_record_is_skipped_and_reported(tmp_path, mode):
+    store = ResultStore(tmp_path / "store")
+    sim = TPUSim()
+    result = sim.simulate_conv(SPEC)
+    attach(store)  # write-through
+    clear_cache()
+    sim.simulate_conv(SPEC)
+    detach()
+    # Damage every record (the exact entry AND its canonical alias), so
+    # nothing healthy is left to serve from.
+    for path in list(store.record_paths()):
+        path.write_bytes(_corrupt_bytes(path.read_bytes(), mode))
+
+    report = store.verify()
+    assert not report.clean and report.scanned >= 1
+    assert all(p.reason for p in report.problems)
+
+    # The read path skips (miss, not crash, not garbage served).
+    before = store.stats.corrupt_skipped
+    found, value, _ = store.load(_only_key_obj())
+    assert not found and value is None
+    assert store.stats.corrupt_skipped == before + 1
+
+    # Recomputation heals: the write-through replaces the bad record.
+    attach(store)
+    clear_cache()
+    healed = sim.simulate_conv(SPEC)
+    assert healed == result
+    assert SIM_CACHE.stats.misses == 1  # recomputed, not served corrupt
+    # The exact record was rewritten healthy; the canonical alias keeps
+    # overwrite=False semantics, so compaction (corrupt-first) finishes
+    # the heal.
+    store.compact()
+    assert store.verify().clean
+    assert len(store) >= 1
+
+
+def _only_key_obj():
+    """The exact memo key TPUSim.simulate_conv builds for SPEC's defaults."""
+    from repro.core.layouts import Layout
+    from repro.core.tiling import tpu_multi_tile_policy
+    from repro.perf.cache import config_key, spec_key
+    from repro.systolic.config import TPU_V2
+
+    group = tpu_multi_tile_policy(SPEC, TPU_V2.array_rows)
+    return ("tpu-conv", config_key(TPU_V2), spec_key(SPEC), group,
+            Layout.NHWC.value)
+
+
+def _only_key(store):
+    return _only_key_obj()
+
+
+@pytest.mark.parametrize("mode", STORE_CORRUPTION_MODES)
+def test_fault_plan_corrupts_at_write_time(tmp_path, mode):
+    store = ResultStore(tmp_path / "store")
+    faults.activate(FaultPlan.parse(f"corrupt-store={mode}"))
+    assert store.save(("k",), _result())
+    faults.deactivate()
+    report = store.verify()
+    assert report.scanned == 1 and not report.clean
+    found, _, _ = store.load(("k",))
+    assert not found and store.stats.corrupt_skipped == 1
+
+
+def test_fault_plan_any_mode_is_deterministic():
+    plan_a = FaultPlan.parse("corrupt-store,seed=7")
+    plan_b = FaultPlan.parse("corrupt-store,seed=7")
+    digests = [key_digest(("k", i)) for i in range(16)]
+    modes_a = [plan_a.store_corruption(d) for d in digests]
+    modes_b = [plan_b.store_corruption(d) for d in digests]
+    assert modes_a == modes_b
+    assert set(modes_a) <= set(STORE_CORRUPTION_MODES)
+    assert len(set(modes_a)) > 1  # "any" actually varies across records
+    assert plan_a.counters["store_corrupted"] == 16
+
+
+def test_fault_plan_rejects_unknown_mode():
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        FaultPlan.parse("corrupt-store=gamma-rays")
+
+
+def test_compact_evicts_corrupt_records_first(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    for i in range(4):
+        store.save(("k", i), _result())
+    _damage(store, ("k", 0), "checksum")
+    report = store.compact(max_entries=3)
+    assert report.removed == 1
+    assert not store.record_path(key_digest(("k", 0))).exists()
+    assert store.verify().clean
+
+
+def _result():
+    sim = TPUSim()
+    return sim.simulate_conv(SPEC)
+
+
+# --------------------------------------------------------- CLI / end-to-end
+def _run(argv, timeout=600):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO, capture_output=True, text=True, timeout=timeout,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+
+
+def test_store_verify_cli_exit_codes(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.save(("k", 1), _result())
+    clean = _run(["store", "verify", str(tmp_path / "store")])
+    assert clean.returncode == 0, clean.stderr
+    assert "1/1 records ok" in clean.stdout
+
+    _damage(store, ("k", 1), "truncate")
+    dirty = _run(["store", "verify", str(tmp_path / "store")])
+    assert dirty.returncode == 1
+    assert "CORRUPT" in dirty.stdout
+
+
+def test_runner_injected_corruption_heals_end_to_end(tmp_path):
+    """--inject-faults corrupt-store poisons every write; the next clean
+    run recomputes everything, stays byte-identical, and heals the store."""
+    store_dir = str(tmp_path / "store")
+    poisoned = _run(["run", "fig13", "--quick", "--store", store_dir,
+                     "--inject-faults", "corrupt-store,seed=3",
+                     "--cache-stats"])
+    assert poisoned.returncode == 0, poisoned.stderr
+
+    verify = _run(["store", "verify", store_dir])
+    assert verify.returncode == 1
+    assert "CORRUPT" in verify.stdout
+
+    plain = _run(["run", "fig13", "--quick"])
+    clean = _run(["run", "fig13", "--quick", "--store", store_dir,
+                  "--cache-stats"])
+    assert clean.returncode == 0, clean.stderr
+    strip = lambda out: [l for l in out.splitlines()
+                         if not l.startswith(("simulation cache:",
+                                              "persistent store:"))]
+    assert strip(clean.stdout) == strip(plain.stdout)
+    cache_line = next(l for l in clean.stdout.splitlines()
+                      if l.startswith("simulation cache:"))
+    assert " 0 misses" not in cache_line  # corrupt records forced recompute
+
+    # Exact records were rewritten healthy; canonical aliases written with
+    # overwrite=False may still be poisoned, so compact (which evicts
+    # corrupt records first) must leave a clean store.
+    compact = _run(["store", "compact", store_dir])
+    assert compact.returncode == 0, compact.stderr
+    final = _run(["store", "verify", store_dir])
+    assert final.returncode == 0, final.stdout

@@ -1,0 +1,135 @@
+"""Multi-process stress battery: many writers, one store, no torn records.
+
+Workers are real subprocesses sharing one store directory.  They race on
+the same digests on purpose — the store's atomic-replace writes make that
+benign (identical bytes, last rename wins).  A ``kill -9`` mid-run must
+never leave a record that fails verification: readers see old-complete or
+new-complete, never a prefix.
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core.conv_spec import ConvSpec
+from repro.core.layouts import Layout
+from repro.core.tiling import tpu_multi_tile_policy
+from repro.perf.cache import clear_cache, config_key, spec_key
+from repro.store import ResultStore, detach
+from repro.systolic.config import TPU_V2
+from repro.systolic.simulator import TPUSim
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+WORKER = """\
+import sys
+sys.path.insert(0, "src")
+from repro.core.conv_spec import ConvSpec
+from repro.perf.cache import clear_cache
+from repro.store import attach
+from repro.systolic.simulator import TPUSim
+
+store_dir, rounds = sys.argv[1], int(sys.argv[2])
+attach(store_dir)
+sim = TPUSim()
+for _ in range(rounds):
+    for i in range(6):
+        spec = ConvSpec(n=1, c_in=8, h_in=8 + i, w_in=8 + i, c_out=8,
+                        h_filter=3, w_filter=3, stride=1, padding=1,
+                        name=f"stress-{i}")
+        sim.simulate_conv(spec)
+    clear_cache()  # next round re-reads from the shared store
+print("worker done")
+"""
+
+
+def _specs():
+    return [
+        ConvSpec(n=1, c_in=8, h_in=8 + i, w_in=8 + i, c_out=8,
+                 h_filter=3, w_filter=3, stride=1, padding=1,
+                 name=f"stress-{i}")
+        for i in range(6)
+    ]
+
+
+def _exact_key(spec):
+    group = tpu_multi_tile_policy(spec, TPU_V2.array_rows)
+    return ("tpu-conv", config_key(TPU_V2), spec_key(spec), group,
+            Layout.NHWC.value)
+
+
+def _env():
+    return {"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"}
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    detach()
+    clear_cache()
+    yield
+    detach()
+    clear_cache()
+
+
+def test_concurrent_workers_no_lost_or_torn_records(tmp_path):
+    store_dir = str(tmp_path / "store")
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-c", WORKER, store_dir, "3"],
+            cwd=REPO, env=_env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        for _ in range(4)
+    ]
+    for proc in workers:
+        out, err = proc.communicate(timeout=600)
+        assert proc.returncode == 0, err
+        assert "worker done" in out
+
+    store = ResultStore(store_dir)
+    report = store.verify()
+    assert report.clean, report.problems
+    assert report.scanned >= 6  # nothing lost: every spec has a record
+
+    # Served results are bit-identical to a cold in-process simulation.
+    sim = TPUSim()
+    for spec in _specs():
+        detach()
+        clear_cache()
+        cold = sim.simulate_conv(spec)
+        found, value, _ = store.load(_exact_key(spec))
+        assert found, spec.name
+        assert value == cold  # dataclass equality: every float bit-exact
+
+
+def test_kill9_mid_run_leaves_verifiable_store(tmp_path):
+    store_dir = str(tmp_path / "store")
+    proc = subprocess.Popen(
+        [sys.executable, "-c", WORKER, store_dir, "100000"],
+        cwd=REPO, env=_env(), start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    store = ResultStore(store_dir, touch_on_hit=False)
+    deadline = time.monotonic() + 60
+    try:
+        while len(store) < 3 and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert len(store) >= 3, "worker produced no records before timeout"
+    finally:
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+        proc.wait(timeout=60)
+
+    report = store.verify()
+    assert report.clean, report.problems
+    # A fresh run over the surviving store completes and stays clean.
+    rerun = subprocess.run(
+        [sys.executable, "-c", WORKER, store_dir, "1"],
+        cwd=REPO, env=_env(), capture_output=True, text=True, timeout=600,
+    )
+    assert rerun.returncode == 0, rerun.stderr
+    assert ResultStore(store_dir).verify().clean

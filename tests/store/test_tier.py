@@ -1,0 +1,143 @@
+"""The persistent tier under the memo cache: accounting + bit-identity.
+
+Covers the acceptance criterion: a second run against a warm persistent
+store performs zero new simulations while its rendered report stays
+byte-identical to a store-less run.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.conv_spec import ConvSpec
+from repro.perf.cache import SIM_CACHE, CacheStats, clear_cache
+from repro.store import attach, attached, detach
+from repro.systolic.simulator import TPUSim
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+SPEC = ConvSpec(
+    n=2, c_in=32, h_in=14, w_in=14, c_out=64, h_filter=3, w_filter=3,
+    stride=1, padding=1, name="tier",
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tier():
+    """Every test starts and ends with no store attached and a cold memo."""
+    detach()
+    clear_cache()
+    yield
+    detach()
+    clear_cache()
+
+
+def test_cache_stats_gained_persistent_field():
+    # Positional construction predates the field; it must stay valid.
+    legacy = CacheStats(1, 0, 1)
+    assert legacy.persistent_hits == 0 and legacy.exact_hits == 1
+    stats = CacheStats(hits=5, misses=1, entries=4, canonical_hits=2,
+                      persistent_hits=1)
+    assert stats.exact_hits == 2
+    total = stats + stats
+    assert total.persistent_hits == 2 and total.exact_hits == 4
+
+
+def test_probe_falls_through_to_store_and_installs(tmp_path):
+    store = attach(tmp_path / "store")
+    sim = TPUSim()
+    cold = sim.simulate_conv(SPEC)
+    assert SIM_CACHE.stats.misses == 1 and store.stats.writes >= 1
+    clear_cache()
+    warm = sim.simulate_conv(SPEC)
+    assert warm == cold
+    stats = SIM_CACHE.stats
+    assert stats.misses == 0 and stats.persistent_hits == 1
+    assert stats.exact_hits == 0 and stats.hits == 1
+    # Installed in memory: the next lookup never touches disk again.
+    before = store.stats.hits
+    again = sim.simulate_conv(SPEC)
+    assert again == cold
+    assert store.stats.hits == before
+    assert SIM_CACHE.stats.exact_hits == 1
+
+
+def test_canonical_key_shared_through_store(tmp_path):
+    """A timing-equivalent spec stored by one process warm-starts another."""
+    attach(tmp_path / "store")
+    sim = TPUSim()
+    tall = ConvSpec(n=1, c_in=8, h_in=24, w_in=12, c_out=8,
+                    h_filter=3, w_filter=3, stride=2, padding=1, name="tall")
+    wide = ConvSpec(n=1, c_in=8, h_in=12, w_in=24, c_out=8,
+                    h_filter=3, w_filter=3, stride=2, padding=1, name="wide")
+    first = sim.simulate_conv(tall)
+    clear_cache()  # simulate a fresh process: only the store survives
+    second = sim.simulate_conv(wide)
+    stats = SIM_CACHE.stats
+    assert stats.persistent_hits == 1 and stats.misses == 0
+    assert second.cycles == first.cycles
+    assert second.name != first.name  # relabelled for the caller
+
+
+def test_detach_restores_plain_behaviour(tmp_path):
+    attach(tmp_path / "store")
+    assert attached() is not None
+    store = detach()
+    assert attached() is None and store is not None
+    sim = TPUSim()
+    sim.simulate_conv(SPEC)
+    assert SIM_CACHE.stats.misses == 1
+    assert len(store) == 0  # nothing written after detach
+
+
+def test_attach_from_env_is_idempotent(tmp_path, monkeypatch):
+    from repro.store import ENV_VAR, attach_from_env
+
+    monkeypatch.delenv(ENV_VAR, raising=False)
+    assert attach_from_env() is None
+    monkeypatch.setenv(ENV_VAR, str(tmp_path / "store"))
+    first = attach_from_env()
+    assert first is not None and attached() is first
+    assert attach_from_env() is first  # same dir -> same handle (stats kept)
+
+
+def _run(argv, env_extra=None):
+    env = {"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"}
+    if env_extra:
+        env.update(env_extra)
+    return subprocess.run(
+        [sys.executable, "-m", "repro.harness.runner", *argv],
+        cwd=REPO, env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+def test_warm_run_is_byte_identical_and_simulation_free(tmp_path):
+    """The PR's acceptance criterion, end to end over real processes."""
+    store_dir = str(tmp_path / "store")
+    plain = _run(["fig13", "--quick"])
+    assert plain.returncode == 0, plain.stderr
+    cold = _run(["fig13", "--quick", "--store", store_dir, "--cache-stats"])
+    assert cold.returncode == 0, cold.stderr
+    warm = _run(["fig13", "--quick", "--store", store_dir, "--cache-stats"])
+    assert warm.returncode == 0, warm.stderr
+
+    def split(out):
+        lines = out.splitlines()
+        body = [l for l in lines if not l.startswith(("simulation cache:",
+                                                      "persistent store:"))]
+        stats = [l for l in lines if l.startswith(("simulation cache:",
+                                                   "persistent store:"))]
+        return "\n".join(body), stats
+
+    plain_body, plain_stats = split(plain.stdout)
+    cold_body, _ = split(cold.stdout)
+    warm_body, warm_stats = split(warm.stdout)
+    assert cold_body == plain_body  # store-backed cold run: same report
+    assert warm_body == plain_body  # warm run: byte-identical report
+    assert plain_stats == []
+    [cache_line, store_line] = warm_stats
+    assert " 0 misses" in cache_line and "(100% hit rate" in cache_line
+    assert store_line.startswith("persistent store: ")
+    assert store_line.split()[2] != "0"  # served hits, not a cold store

@@ -1,0 +1,106 @@
+"""End-to-end smoke of ``repro serve``: boot, query, scrape, drain.
+
+Boots the daemon as a subprocess on an ephemeral port with a tmpdir
+persistent store, issues one conv-timing query plus the same query again
+(which must be served without a new simulation — the store/memo answer),
+checks ``/healthz`` and ``/metrics`` expose the serve counters, then
+shuts the daemon down gracefully (SIGTERM) and requires a clean exit.
+
+Run via ``make serve-smoke``.  Exit 0 = every step held.
+"""
+
+import asyncio
+import pathlib
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.store.serve import http_request  # noqa: E402
+
+QUERY = {
+    "spec": {
+        "n": 8, "c_in": 128, "h_in": 28, "w_in": 28,
+        "c_out": 128, "h_filter": 3, "w_filter": 3,
+        "stride": 1, "padding": 1, "name": "smoke",
+    }
+}
+
+
+def wait_for_port(proc: subprocess.Popen, timeout_s: float = 30.0) -> int:
+    """Parse the listen port from the daemon's startup line."""
+    deadline = time.monotonic() + timeout_s
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise SystemExit(f"serve exited early (rc={proc.poll()})")
+        sys.stdout.write(line)
+        match = re.search(r"http://[^:]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    raise SystemExit("serve never reported a listen address")
+
+
+async def exercise(port: int) -> None:
+    status, health = await http_request("127.0.0.1", port, "GET", "/healthz")
+    assert status == 200 and health["status"] == "ok", (status, health)
+
+    status, first = await http_request("127.0.0.1", port, "POST", "/v1/conv", QUERY)
+    assert status == 200, (status, first)
+    assert first["cycles"] > 0 and 0 < first["utilization"] <= 1, first
+
+    status, again = await http_request("127.0.0.1", port, "POST", "/v1/conv", QUERY)
+    assert status == 200 and again == first, "repeat query must be identical"
+
+    status, metrics = await http_request("127.0.0.1", port, "GET", "/metrics")
+    assert status == 200, status
+    for needle in (
+        "repro_serve_requests_total",
+        "repro_serve_simulations_total",
+        "repro_serve_batches_total",
+        "repro_sim_cache_hit_rate",
+    ):
+        assert needle in metrics, f"missing {needle} in /metrics"
+    sims = re.search(r"repro_serve_simulations_total (\d+)", metrics)
+    assert sims and int(sims.group(1)) == 1, (
+        f"repeat query must not re-simulate: {sims and sims.group(0)}"
+    )
+    print(f"serve-smoke: 2 queries, 1 simulation, /metrics ok (port {port})")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as store_dir:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0",
+             "--store", store_dir],
+            cwd=REPO,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            port = wait_for_port(proc)
+            asyncio.run(exercise(port))
+            proc.send_signal(signal.SIGTERM)
+            rc = proc.wait(timeout=30)
+            tail = proc.stdout.read() if proc.stdout else ""
+            sys.stdout.write(tail)
+            assert rc == 0, f"serve exited {rc} on graceful shutdown"
+            assert "drained" in tail, "shutdown must report a drain"
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    print("serve-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
