@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke audit-smoke fuzz-smoke store-stress serve-smoke ci all
+.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke audit-smoke fuzz-smoke store-stress serve-smoke report-smoke ci all
 
 export PYTHONPATH := src
 
@@ -62,6 +62,9 @@ store-stress:
 serve-smoke:
 	python tools/serve_smoke.py
 
+report-smoke:
+	python -m repro report fig13 fig16 --top 5
+
 ci:
 	python -m pytest -x -q -m "not goldens" tests/
 	python -m pytest -q -m goldens tests/
@@ -71,5 +74,6 @@ ci:
 	python -m repro fuzz --specs 200 --seed 0 --no-corpus
 	python -m pytest -q tests/store/
 	python tools/serve_smoke.py
+	python -m repro report fig13 fig16 --top 5
 
 all: test bench experiments

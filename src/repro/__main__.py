@@ -26,6 +26,13 @@ Commands:
 - ``fuzz [--specs N] [--seed S] [--corpus DIR] [--inject-faults SPEC]`` —
   run random conv specs under full audit; failures are shrunk to minimal
   reproducers and appended crash-safely to ``tests/audit/corpus/``.
+- ``top (--status-file PATH | --url URL) [--once] [--interval S]
+  [--plain]`` — live ops console over a runner's/server's status beacon
+  (see :mod:`repro.obs.flight.top`).
+- ``report [ids...] [--goldens DIR] [-o PATH] [--html] [--top N]`` —
+  Fig 2a-style bottleneck attribution (compute / lowering overhead /
+  DRAM-bound, roofline placement) from the golden cycle snapshots
+  (see :mod:`repro.harness.attribution`).
 
 Every command accepts ``--log-level``/``--log-file``/``--quiet``
 (structured logging, see :mod:`repro.obs.log`) and ``--manifest`` (write a
@@ -135,6 +142,10 @@ def _runner_argv(args) -> List[str]:
         argv.extend(["--audit", args.audit])
     if getattr(args, "store", None) is not None:
         argv.extend(["--store", args.store])
+    if getattr(args, "flight", False):
+        argv.append("--flight")
+    if getattr(args, "status_file", None) is not None:
+        argv.extend(["--status-file", args.status_file])
     return argv
 
 
@@ -228,7 +239,49 @@ def cmd_serve(args) -> int:
             "--max-batch", str(args.max_batch)]
     if args.store:
         argv.extend(["--store", args.store])
+    if args.run_id:
+        argv.extend(["--run-id", args.run_id])
+    if args.log_file:
+        argv.extend(["--log-file", args.log_file])
+    if args.trace is not None:
+        argv.extend(["--trace", args.trace])
+    if args.status_file:
+        argv.extend(["--status-file", args.status_file])
+    if args.flight:
+        argv.extend(["--flight", args.flight])
     return serve_main(argv)
+
+
+def cmd_top(args) -> int:
+    from .obs.flight.top import top_main
+
+    argv: List[str] = []
+    if args.status_file:
+        argv.extend(["--status-file", args.status_file])
+    if args.url:
+        argv.extend(["--url", args.url])
+    if args.once:
+        argv.append("--once")
+    if args.interval != 1.0:
+        argv.extend(["--interval", str(args.interval)])
+    if args.plain:
+        argv.append("--plain")
+    return top_main(argv)
+
+
+def cmd_report(args) -> int:
+    from .harness.attribution import report_main
+
+    argv: List[str] = list(args.experiments)
+    if args.goldens != "tests/trace/goldens":
+        argv.extend(["--goldens", args.goldens])
+    if args.output:
+        argv.extend(["-o", args.output])
+    if args.html:
+        argv.append("--html")
+    if args.top:
+        argv.extend(["--top", str(args.top)])
+    return report_main(argv)
 
 
 def cmd_store(args) -> int:
@@ -325,6 +378,11 @@ def _add_runner_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--store", default=None, metavar="DIR",
                    help="persistent on-disk result store backing the "
                    "simulation cache (shared across processes and runs)")
+    p.add_argument("--flight", action="store_true",
+                   help="flight recorder: dump recent spans/logs to "
+                   "results/<run_id>/ on faults, timeouts and SIGUSR1")
+    p.add_argument("--status-file", default=None, metavar="PATH",
+                   help="status beacon JSON for `repro top --status-file`")
     p.set_defaults(func=cmd_experiments)
 
 
@@ -398,6 +456,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="coalescing window before each engine batch")
     p.add_argument("--max-batch", type=int, default=defaults.max_batch,
                    help="queries per simulate_conv_batch call at most")
+    p.add_argument("--run-id", default=None, metavar="RUN_ID",
+                   help="pin the daemon's run id (default: generated)")
+    p.add_argument("--trace", nargs="?", const="serve-trace.json",
+                   default=None, metavar="PATH",
+                   help="record request/batch spans; Chrome trace written "
+                   "to PATH on drain (default serve-trace.json)")
+    p.add_argument("--status-file", default=None, metavar="PATH",
+                   help="status beacon JSON for `repro top --status-file`")
+    p.add_argument("--flight", default=None, metavar="DIR",
+                   help="flight-recorder dumps (faults, SIGUSR1) into DIR")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(
@@ -441,6 +509,39 @@ def build_parser() -> argparse.ArgumentParser:
                    "e.g. 'audit-break=tpu.macs.conservation' to prove the "
                    "catch->shrink->corpus pipeline")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "top", parents=[obs_parent],
+        help="live ops console over a runner's/server's status beacon",
+    )
+    source = p.add_mutually_exclusive_group(required=True)
+    source.add_argument("--status-file", default=None, metavar="PATH",
+                        help="beacon file written by --status-file runs")
+    source.add_argument("--url", default=None, metavar="URL",
+                        help="base URL of a serve daemon (/statusz is polled)")
+    p.add_argument("--once", action="store_true",
+                   help="print one snapshot and exit (for scripts/CI)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="refresh period (default 1s)")
+    p.add_argument("--plain", action="store_true",
+                   help="line-oriented output instead of the curses screen")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "report", parents=[obs_parent],
+        help="Fig 2a-style bottleneck attribution from golden snapshots",
+    )
+    p.add_argument("experiments", nargs="*",
+                   help="golden experiment ids (default: fig13)")
+    p.add_argument("--goldens", default="tests/trace/goldens", metavar="DIR",
+                   help="directory holding <experiment>.json goldens")
+    p.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="write the report here instead of stdout")
+    p.add_argument("--html", action="store_true",
+                   help="emit a self-contained HTML page")
+    p.add_argument("--top", type=int, default=0, metavar="N",
+                   help="table rows per experiment (0 = all workloads)")
+    p.set_defaults(func=cmd_report)
     return parser
 
 

@@ -205,12 +205,18 @@ def _run_with_telemetry(
     tracing: bool,
     profiling: bool = False,
     audit_level: str = "off",
+    traceparent: Optional[str] = None,
 ) -> Tuple[ExperimentResult, RunTelemetry]:
     """Run one experiment with per-run cache accounting (and tracing if on).
 
     Runs in the parent (serial) or in a pool worker (``--jobs``); either way
     the process-global tracer/registry/cache belong to *this* process, so
     resetting them here is safe and gives each experiment a clean window.
+
+    ``traceparent`` (a W3C header string, threaded through the supervisor
+    payload under ``--jobs``) carries the task's trace context across the
+    process boundary; the experiment span adopts it, so every task yields
+    exactly one connected span tree in the merged Chrome export.
     """
     if os.environ.get("REPRO_STORE_DIR"):
         # --store exports the directory before workers spawn, so every
@@ -238,11 +244,22 @@ def _run_with_telemetry(
 
     def execute() -> Tuple[ExperimentResult, float]:
         start = time.perf_counter()
-        if profiler is not None:
-            with profiler.phase(experiment_id):
+        try:
+            if profiler is not None:
+                with profiler.phase(experiment_id):
+                    result = run_experiment(experiment_id, quick=quick)
+            else:
                 result = run_experiment(experiment_id, quick=quick)
-        else:
-            result = run_experiment(experiment_id, quick=quick)
+        except BaseException as err:
+            # Post-mortem aid: dump the flight-recorder ring (if one is
+            # configured in this process) before the fault propagates.
+            from ..obs.flight.recorder import maybe_dump
+
+            maybe_dump(
+                "audit-fault" if isinstance(err, AuditFault) else "exception",
+                {"experiment": experiment_id, "error": repr(err)},
+            )
+            raise
         return result, time.perf_counter() - start
 
     if not tracing:
@@ -257,6 +274,7 @@ def _run_with_telemetry(
             "experiment.done", experiment=experiment_id, wall_s=round(wall_s, 4)
         )
         return result, telemetry
+    from ..trace import context as trace_context
     from ..trace import metrics as trace_metrics
     from ..trace import tracer as trace
 
@@ -264,9 +282,18 @@ def _run_with_telemetry(
     registry.clear()
     trace.get_tracer().clear()
     trace.enable()
+    # The task's root context: received from the supervisor under --jobs,
+    # freshly minted for serial runs.  The experiment span adopts it.
+    root_ctx = (
+        trace_context.TraceContext.from_traceparent(traceparent)
+        or trace_context.TraceContext.new()
+    )
     try:
-        with trace.span("experiment", cat="harness", experiment=experiment_id):
-            result, wall_s = execute()
+        with trace_context.activate_root(root_ctx):
+            with trace.span(
+                "experiment", cat="harness", experiment=experiment_id
+            ):
+                result, wall_s = execute()
         telemetry = RunTelemetry(
             events=trace.drain_events(),
             layers=registry.layers,
@@ -325,21 +352,28 @@ def run_many_telemetry(
 
 
 def _supervised_task(
-    payload: Tuple[str, bool, bool, bool, Optional[str], str, int],
+    payload: Tuple,
     index: int,
     attempt: int,
 ) -> Tuple[ExperimentResult, RunTelemetry]:
     """One supervised unit of work (runs in a pool worker, or serially).
 
     ``payload`` carries ``(experiment_id, quick, tracing, profiling,
-    fault_spec, audit_level, supervisor_pid)``.  Process-level injected
-    faults (crash/hang) only fire when this is *not* the supervising
-    process, so the degraded-serial fallback can never be taken down by its
-    own injection.
+    fault_spec, audit_level, supervisor_pid[, traceparent])``.  The
+    optional eighth element is the task's W3C trace context, minted in the
+    supervising process so a ``--jobs N`` trace reassembles into one
+    connected tree per task.  Process-level injected faults (crash/hang)
+    only fire when this is *not* the supervising process, so the
+    degraded-serial fallback can never be taken down by its own injection.
     """
-    eid, quick, tracing, profiling, fault_spec, audit_level, supervisor_pid = payload
+    eid, quick, tracing, profiling, fault_spec, audit_level, supervisor_pid = (
+        payload[:7]
+    )
+    traceparent = payload[7] if len(payload) > 7 else None
     if fault_spec is None:
-        return _run_with_telemetry(eid, quick, tracing, profiling, audit_level)
+        return _run_with_telemetry(
+            eid, quick, tracing, profiling, audit_level, traceparent
+        )
     from ..resilience import faults
 
     plan = faults.FaultPlan.parse(fault_spec)
@@ -348,7 +382,9 @@ def _supervised_task(
     plan.maybe_raise_fault(index, attempt)
     faults.activate(plan)
     try:
-        return _run_with_telemetry(eid, quick, tracing, profiling, audit_level)
+        return _run_with_telemetry(
+            eid, quick, tracing, profiling, audit_level, traceparent
+        )
     finally:
         faults.deactivate()
 
@@ -371,13 +407,22 @@ def _run_supervised(
     report carries the failures and the error budget.
     """
     from ..resilience.supervisor import Supervisor, TaskSpec
+    from ..trace import context as trace_context
+
+    def _task_traceparent() -> Optional[str]:
+        # One root context per task, minted here in the supervising process;
+        # the worker's experiment span adopts it (same ids on every retry,
+        # so a retried task still forms a single tree).
+        if not tracing:
+            return None
+        return trace_context.TraceContext.new().to_traceparent()
 
     tasks = [
         TaskSpec(
             index=i, key=eid,
             payload=(
                 eid, quick, tracing, profiling, fault_spec, audit_level,
-                os.getpid(),
+                os.getpid(), _task_traceparent(),
             ),
         )
         for i, eid in enumerate(ids)
@@ -691,6 +736,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "in-line, 'full' adds per-layer cross-model differential checks; "
         "a violation raises AuditFault and fails the run (default: off)",
     )
+    parser.add_argument(
+        "--flight",
+        action="store_true",
+        help="keep a flight-recorder ring of recent spans/log events; "
+        "dumped to results/<run_id>/flightrec-*.json on AuditFault, "
+        "worker death/timeout, unhandled exceptions, or SIGUSR1",
+    )
+    parser.add_argument(
+        "--status-file",
+        default=None,
+        metavar="PATH",
+        help="mirror live sweep progress (queue depth, ETA, cache hit "
+        "rates) to PATH for 'repro top --status-file PATH'",
+    )
     args = parser.parse_args(argv)
     ids = args.experiments or list(EXPERIMENTS)
     for eid in ids:
@@ -729,6 +788,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         quiet=args.quiet,
         run_id=run_id if obs_active else None,
     )
+    from ..obs.flight.beacon import configure_beacon
+
+    configure_beacon(
+        role="runner", run_id=run_id, status_path=args.status_file
+    )
+    if args.flight:
+        # Configured after obs_log.configure (which replaces the log state,
+        # tee included).  Forked pool workers inherit the hooks, so their
+        # dumps land beside the supervisor's, distinguished by pid.
+        from ..obs.flight.recorder import configure_recorder
+
+        configure_recorder(run_dir=os.path.join(args.results_dir, run_id))
     run_ctx = None
     if obs_active:  # provenance collection (git, versions) only when observed
         from ..obs.manifest import RunContext
@@ -814,6 +885,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 audit_fault_failures += 1
             exit_code = 1
             obs_log.error("run.experiment_error", error=repr(err))
+            from ..obs.flight.recorder import maybe_dump
+
+            maybe_dump(
+                "audit-fault" if isinstance(err, AuditFault) else "exception",
+                {"error": repr(err)},
+            )
             print(f"error: experiment run failed: {err!r}", file=sys.stderr)
         for result in results:
             obs_log.console(result.render())

@@ -1,0 +1,44 @@
+"""Flight observability: crash recorder, status beacon, live ops console.
+
+Three small pieces that compose the tracer/log primitives of PRs 2-3 into
+the end-to-end layer long-running work was missing:
+
+- :mod:`repro.obs.flight.recorder` — a bounded ring buffer of recent
+  spans and log events per process, dumped atomically to
+  ``results/<run_id>/flightrec-*.json`` on faults (AuditFault, supervisor
+  timeout/kill, unhandled exception) or on ``SIGUSR1`` — post-mortems of
+  rare fuzz/DSE failures without re-running under ``--trace``;
+- :mod:`repro.obs.flight.beacon` — always-on in-process progress counters
+  (attribute bumps, no I/O) that the runner, supervisor and serve daemon
+  update, optionally mirrored to an atomic status file for external
+  observers;
+- :mod:`repro.obs.flight.top` — ``repro top``: a live (or ``--once``)
+  text view of active requests, queue depths, worker health, cache hit
+  rates and sweep progress with a rolling-throughput ETA, reading either
+  a beacon status file or a serve daemon's ``/statusz`` endpoint.
+
+Everything is zero-overhead-when-off: the recorder hooks the tracer/log
+tees only when configured, and the beacon performs no filesystem work
+unless given a status path.
+"""
+
+from .beacon import Beacon, configure_beacon, get_beacon, reset_beacon
+from .recorder import (
+    FlightRecorder,
+    configure_recorder,
+    get_recorder,
+    maybe_dump,
+    reset_recorder,
+)
+
+__all__ = [
+    "Beacon",
+    "configure_beacon",
+    "get_beacon",
+    "reset_beacon",
+    "FlightRecorder",
+    "configure_recorder",
+    "get_recorder",
+    "maybe_dump",
+    "reset_recorder",
+]

@@ -1,0 +1,191 @@
+"""Flight recorder: a bounded ring of recent telemetry, dumped on faults.
+
+The tracer and the JSONL log already *produce* everything a post-mortem
+needs — but only when a run opted into ``--trace``/``--log-file``, which
+the one-in-a-thousand fuzz or DSE failure never did.  The flight recorder
+closes that gap the way avionics do: every process keeps the last N spans
+and log events in a ``collections.deque`` ring (O(1) appends, bounded
+memory), and on a fault the ring is dumped atomically to
+``results/<run_id>/flightrec-<reason>-<pid>-<seq>.json``.
+
+Dump triggers (callers invoke :func:`maybe_dump`):
+
+- ``audit-fault`` — a trace invariant tripped (:class:`AuditFault`);
+- ``exception`` — an unhandled exception escaped the harness;
+- ``supervisor-timeout`` / ``worker-death`` — the supervisor killed or
+  lost a worker (the *supervisor* dumps: a SIGKILL'd worker cannot);
+- ``sigusr1`` — operator-requested snapshot of a live process.
+
+When configured, the recorder tees:
+
+- every :class:`~repro.trace.tracer.TraceEvent` via ``Tracer.tap`` (only
+  produces data while tracing is enabled — the tracer's disabled path
+  stays zero-cost);
+- every structured log record via ``LogState.tee`` (records down to
+  ``debug``, even with no JSONL sink configured).
+
+Unconfigured, nothing is hooked and nothing is paid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.resilience.atomic import atomic_write_text
+
+__all__ = [
+    "FlightRecorder",
+    "configure_recorder",
+    "get_recorder",
+    "maybe_dump",
+    "reset_recorder",
+]
+
+#: Default ring capacity (spans + log records each keep their own ring).
+DEFAULT_CAPACITY = 512
+
+
+class FlightRecorder:
+    """Bounded ring buffers of recent spans and log events, dump-on-demand."""
+
+    def __init__(self, run_dir: Optional[str] = None, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"flight recorder capacity must be > 0, got {capacity}")
+        self.run_dir = run_dir
+        self.capacity = capacity
+        self._spans: Deque[dict] = deque(maxlen=capacity)
+        self._logs: Deque[dict] = deque(maxlen=capacity)
+        self._dropped_spans = 0
+        self._dropped_logs = 0
+        self._seq = 0
+        self.dumps: List[str] = []
+
+    # ----------------------------------------------------------------- tees
+    def record_event(self, event) -> None:
+        """``Tracer.tap`` target: retain one trace event (Chrome dict form)."""
+        if len(self._spans) == self._spans.maxlen:
+            self._dropped_spans += 1
+        self._spans.append(event.to_chrome())
+
+    def record_log(self, record: dict) -> None:
+        """``LogState.tee`` target: retain one structured log record."""
+        if len(self._logs) == self._logs.maxlen:
+            self._dropped_logs += 1
+        self._logs.append(dict(record))
+
+    # ---------------------------------------------------------------- dumps
+    def payload(self, reason: str, extra: Optional[dict] = None) -> dict:
+        """The dump document: ring contents + enough context to orient."""
+        doc = {
+            "schema": 1,
+            "kind": "flight-recorder",
+            "reason": reason,
+            "pid": os.getpid(),
+            "ts": round(time.time(), 6),
+            "capacity": self.capacity,
+            "dropped": {"spans": self._dropped_spans, "logs": self._dropped_logs},
+            "spans": list(self._spans),
+            "logs": list(self._logs),
+        }
+        if extra:
+            doc["extra"] = dict(extra)
+        return doc
+
+    def dump(self, reason: str, extra: Optional[dict] = None) -> Optional[str]:
+        """Atomically write the ring to ``<run_dir>/flightrec-*.json``.
+
+        Returns the path written, or ``None`` when no ``run_dir`` is
+        configured (the recorder can still be inspected in-process).
+        A reason is slugged into the filename so one process can leave
+        several distinct dumps (``exception`` then ``sigusr1``...).
+        """
+        if self.run_dir is None:
+            return None
+        self._seq += 1
+        slug = "".join(c if c.isalnum() else "-" for c in reason.lower()).strip("-")
+        name = f"flightrec-{slug or 'dump'}-{os.getpid()}-{self._seq:03d}.json"
+        path = os.path.join(self.run_dir, name)
+        text = json.dumps(self.payload(reason, extra), indent=1, sort_keys=True)
+        atomic_write_text(path, text + "\n")
+        self.dumps.append(path)
+        return path
+
+
+#: Process-global recorder; ``None`` until :func:`configure_recorder` runs.
+_RECORDER: Optional[FlightRecorder] = None
+
+
+def get_recorder() -> Optional[FlightRecorder]:
+    return _RECORDER
+
+
+def configure_recorder(
+    run_dir: Optional[str] = None,
+    capacity: int = DEFAULT_CAPACITY,
+    install_signal: bool = True,
+) -> FlightRecorder:
+    """Install a process-global recorder and hook it into tracer + logs.
+
+    Call *after* :func:`repro.obs.log.configure` — ``configure`` replaces
+    the log state wholesale, which would drop the tee installed here.
+    With ``install_signal`` (default) a ``SIGUSR1`` handler dumps the ring
+    on demand; pass ``False`` in threads or tests where signal handlers
+    are off-limits.
+    """
+    global _RECORDER
+    recorder = FlightRecorder(run_dir=run_dir, capacity=capacity)
+    _RECORDER = recorder
+
+    from repro.obs import log as obs_log
+    from repro.trace import tracer as trace_tracer
+
+    obs_log.get_state().tee = recorder.record_log
+    trace_tracer.get_tracer().tap = recorder.record_event
+
+    if install_signal:
+        try:
+            signal.signal(signal.SIGUSR1, _on_sigusr1)
+        except (ValueError, AttributeError, OSError):
+            pass  # non-main thread, or a platform without SIGUSR1
+    return recorder
+
+
+def reset_recorder() -> None:
+    """Unhook and drop the global recorder (tests)."""
+    global _RECORDER
+    if _RECORDER is None:
+        return
+    from repro.obs import log as obs_log
+    from repro.trace import tracer as trace_tracer
+
+    state = obs_log.get_state()
+    if state.tee is _RECORDER.record_log:
+        state.tee = None
+    tracer = trace_tracer.get_tracer()
+    if tracer.tap is _RECORDER.record_event:
+        tracer.tap = None
+    _RECORDER = None
+
+
+def maybe_dump(reason: str, extra: Optional[dict] = None) -> Optional[str]:
+    """Dump the global recorder if one is configured; else a silent no-op.
+
+    This is the call sprinkled at fault sites — it must be safe to invoke
+    from ``except``/``finally`` blocks in any process, configured or not.
+    """
+    recorder = _RECORDER
+    if recorder is None:
+        return None
+    try:
+        return recorder.dump(reason, extra)
+    except OSError:
+        return None  # a post-mortem aid must never mask the original fault
+
+
+def _on_sigusr1(signum, frame) -> None:
+    maybe_dump("sigusr1")

@@ -36,7 +36,9 @@ import json
 import os
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.trace import context as _trace_context
 
 __all__ = [
     "LEVELS",
@@ -84,6 +86,10 @@ class LogState:
     #: Events captured when a test installs a capturing state (sink-free
     #: introspection without touching the filesystem).
     capture: Optional[List[dict]] = None
+    #: Optional record tee — the flight recorder's ring buffer taps here.
+    #: Receives every record the sink would (down to ``debug``), even when
+    #: no sink is configured.
+    tee: Optional[Callable[[dict], None]] = None
 
 
 _STATE = LogState()
@@ -146,15 +152,25 @@ def event(name: str, level: str = "info", **fields: Any) -> None:
     """Emit one structured event through every configured channel."""
     state = _STATE
     value = LEVELS.get(level, LEVELS["info"])
-    if state.sink is None and state.capture is None and value < state.console_level:
+    if (
+        state.sink is None
+        and state.capture is None
+        and state.tee is None
+        and value < state.console_level
+    ):
         return  # the zero-cost path of an unconfigured run
     record = {"ts": round(time.time(), 6), "level": level, "event": name, "pid": os.getpid()}
     if state.run_id is not None:
         record["run_id"] = state.run_id
+    ctx = _trace_context.current()
+    if ctx is not None:
+        record.update(ctx.ids())
     for key, val in fields.items():
         record[key] = _jsonable(val)
     if state.capture is not None:
         state.capture.append(record)
+    if state.tee is not None:
+        state.tee(record)
     if state.sink is not None:
         state.sink.write(json.dumps(record, separators=(",", ":")) + "\n")
     if value >= state.console_level:
@@ -189,7 +205,7 @@ def console(text: str = "", *, kind: str = "report") -> None:
     log remains complete.
     """
     state = _STATE
-    if state.sink is not None or state.capture is not None:
+    if state.sink is not None or state.capture is not None or state.tee is not None:
         event("console", level="debug", kind=kind, chars=len(text))
     if not state.quiet:
         print(text)

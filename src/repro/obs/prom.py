@@ -49,7 +49,7 @@ HELP_TEXT: Dict[str, str] = {
     "repro_serve_shed_total": "Queries refused with 429 because the pending budget was exhausted.",
     "repro_serve_batches_total": "simulate_conv_batch calls issued by the serve batcher.",
     "repro_serve_simulations_total": "Fresh simulations performed by the serve batcher (memo/store hits excluded).",
-    "repro_serve_request_seconds": "End-to-end serve request latency distribution.",
+    "repro_serve_request_seconds": "End-to-end serve request latency distribution (per route when labeled).",
     "repro_serve_batch_seconds": "Engine wall time per served batch.",
     "repro_serve_pending": "Queries currently in flight in the serve daemon.",
     "repro_serve_draining": "1 while the serve daemon is draining for shutdown.",
@@ -85,14 +85,42 @@ def _header(lines: List[str], name: str, kind: str) -> None:
     lines.append(f"# TYPE {name} {kind}")
 
 
-def _render_histogram(lines: List[str], name: str, histogram: Histogram) -> None:
-    _header(lines, name, "histogram")
+def _split_key(key: str) -> Tuple[str, Dict[str, str]]:
+    """Split a registry key like ``name{route="/v1/conv"}`` into (name, labels).
+
+    The registry stores labeled series under one flat string key (its dicts
+    are keyed by name only); the exposition layer is where the labels must
+    come apart again so bucket/sum/count suffixes attach to the *name*.
+    Keys without a ``{...}`` suffix return ``(key, {})``.
+    """
+    brace = key.find("{")
+    if brace < 0 or not key.endswith("}"):
+        return key, {}
+    name, body = key[:brace], key[brace + 1 : -1]
+    labels: Dict[str, str] = {}
+    for part in body.split(","):
+        label, sep, value = part.partition("=")
+        if not sep:
+            return key, {}  # not label syntax after all; treat as a plain name
+        labels[label.strip()] = value.strip().strip('"')
+    return name, labels
+
+
+def _render_histogram(
+    lines: List[str],
+    name: str,
+    histogram: Histogram,
+    labels: Optional[Dict[str, str]] = None,
+    header: bool = True,
+) -> None:
+    if header:
+        _header(lines, name, "histogram")
     for bound, cumulative in histogram.cumulative():
-        lines.append(
-            _sample(f"{name}_bucket", float(cumulative), {"le": _fmt_value(bound)})
-        )
-    lines.append(_sample(f"{name}_sum", histogram.sum))
-    lines.append(_sample(f"{name}_count", float(histogram.count)))
+        sample_labels = dict(labels or {})
+        sample_labels["le"] = _fmt_value(bound)
+        lines.append(_sample(f"{name}_bucket", float(cumulative), sample_labels))
+    lines.append(_sample(f"{name}_sum", histogram.sum, labels))
+    lines.append(_sample(f"{name}_count", float(histogram.count), labels))
 
 
 def render_prometheus(
@@ -110,8 +138,19 @@ def render_prometheus(
     for name in sorted(registry.gauges):
         _header(lines, name, "gauge")
         lines.append(_sample(name, registry.gauges[name], labels))
-    for name in sorted(registry.histograms):
-        _render_histogram(lines, name, registry.histograms[name])
+    # Histogram keys may carry inline labels (``name{route="..."}``); group
+    # labeled variants under one HELP/TYPE header per base name.
+    seen_bases: set = set()
+    for key in sorted(registry.histograms, key=lambda k: (_split_key(k)[0], k)):
+        base, key_labels = _split_key(key)
+        _render_histogram(
+            lines,
+            base,
+            registry.histograms[key],
+            labels=key_labels or None,
+            header=base not in seen_bases,
+        )
+        seen_bases.add(base)
     # Derived series from the per-layer cycle ledger (populated under --trace).
     by_source = registry.by_source()
     if by_source:

@@ -37,6 +37,9 @@ import enum
 import functools
 from typing import Any, Callable, Optional, Tuple
 
+from repro.trace import tracer as _trace
+from repro.obs.flight import beacon as _beacon
+
 __all__ = [
     "SimulationCache",
     "CacheStats",
@@ -162,10 +165,17 @@ class SimulationCache:
 
         Counts exactly what a :meth:`get_or_compute` call would have counted
         for the same keys (a canonical-key serve aliases the exact key).
+
+        Each probe notes its serving tier (``exact``/``canonical``/
+        ``persistent``/``miss``) on the status beacon — an attribute bump,
+        always on — and, only while tracing is enabled, emits a
+        ``cache.probe`` instant so request span trees show which tier
+        answered.
         """
         value = self._store.get(key, _MISSING)
         if value is not _MISSING:
             self.hits += 1
+            self._note_probe("exact")
             return True, value
         if canonical_key is not None and canonical_key != key:
             value = self._store.get(canonical_key, _MISSING)
@@ -174,6 +184,7 @@ class SimulationCache:
                 self.canonical_hits += 1
                 self._store[key] = value
                 self._aliases += 1
+                self._note_probe("canonical")
                 return True, value
         if self.backing is not None:
             found, value, _ = self.backing.load(key, canonical_key)
@@ -184,9 +195,17 @@ class SimulationCache:
                 if canonical_key is not None and canonical_key != key:
                     if self._store.setdefault(canonical_key, value) is value:
                         self._aliases += 1
+                self._note_probe("persistent")
                 return True, value
         self.misses += 1
+        self._note_probe("miss")
         return False, None
+
+    @staticmethod
+    def _note_probe(tier: str) -> None:
+        _beacon.get_beacon().note_cache(tier)
+        if _trace.enabled():
+            _trace.instant("cache.probe", cat="cache", tier=tier)
 
     def note_pending_hit(self, canonical: bool = False) -> None:
         """Reclassify the last counted miss as a hit.

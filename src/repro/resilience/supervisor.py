@@ -201,6 +201,14 @@ class Supervisor:
 
     # ------------------------------------------------------------- running
     def run(self, tasks: Sequence[TaskSpec]) -> SupervisorReport:
+        # Imported here, not at module top: obs.flight pulls in
+        # resilience.atomic, and this module is imported by the package init.
+        from ..obs.flight.beacon import get_beacon
+        from ..obs.flight.recorder import maybe_dump
+
+        beacon = get_beacon()
+        beacon.tasks_total += len(tasks)
+        beacon.update(workers=self.jobs)
         budget = ErrorBudget(tasks=len(tasks))
         results: Dict[int, Any] = {}
         failures: List[TaskFailure] = []
@@ -213,6 +221,7 @@ class Supervisor:
         def record_failure(task: TaskSpec, attempt: int, fault, message: str) -> None:
             budget.failed += 1
             budget.count_fault(fault.__name__)
+            beacon.task_done(task.key, ok=False)
             failures.append(
                 TaskFailure(
                     index=task.index, key=task.key, fault=fault.__name__,
@@ -229,6 +238,8 @@ class Supervisor:
             if fault.retryable and attempt <= self.policy.max_retries:
                 budget.transient_retries += 1
                 budget.count_fault(fault.__name__)
+                beacon.retries += 1
+                beacon.active.pop(task.key, None)
                 delay = self.policy.backoff_s(task.index, attempt + 1)
                 delayed.append((time.monotonic() + delay, task, attempt + 1))
                 obs_log.warning(
@@ -243,11 +254,13 @@ class Supervisor:
         def succeed(task: TaskSpec, attempt: int, value: Any) -> None:
             results[task.index] = value
             budget.succeeded += 1
+            beacon.task_done(task.key, ok=True)
             if self.on_result is not None:
                 self.on_result(task, value)
 
         def run_serial(task: TaskSpec, attempt: int) -> None:
             """Degraded-mode execution in the supervising process."""
+            beacon.task_started(task.key)
             try:
                 value = self.fn(task.payload, task.index, attempt)
             except KeyboardInterrupt:
@@ -281,6 +294,8 @@ class Supervisor:
                     if ready:
                         task, attempt = ready.pop(0)
                         run_serial(task, attempt)
+                        beacon.update(queue_depth=len(ready) + len(delayed))
+                        beacon.maybe_write()
                     elif delayed:
                         time.sleep(
                             max(0.0, min(t for t, _, _ in delayed) - now)
@@ -291,6 +306,7 @@ class Supervisor:
                 # deadline starts roughly when it starts executing.
                 while ready and len(outstanding) < self.jobs:
                     task, attempt = ready.pop(0)
+                    beacon.task_started(task.key)
                     future = self._pool.submit(
                         self.fn, task.payload, task.index, attempt
                     )
@@ -300,6 +316,9 @@ class Supervisor:
                         else None
                     )
                     outstanding[future] = (task, attempt, deadline)
+
+                beacon.update(queue_depth=len(ready) + len(delayed))
+                beacon.maybe_write()
 
                 if not outstanding:
                     if delayed:
@@ -341,10 +360,17 @@ class Supervisor:
                 if timed_out:
                     for future, task, attempt in timed_out:
                         budget.timeouts += 1
+                        beacon.timeouts += 1
                         obs_log.warning(
                             "supervisor.timeout",
                             task=task.key, index=task.index, attempt=attempt,
                             timeout_s=self.policy.timeout_s,
+                        )
+                        maybe_dump(
+                            "supervisor-timeout",
+                            {"task": task.key, "index": task.index,
+                             "attempt": attempt,
+                             "timeout_s": self.policy.timeout_s},
                         )
                         outstanding.pop(future)
                         retry_or_fail(
@@ -358,9 +384,15 @@ class Supervisor:
                     # attempt; only the culprit was charged one above.
                     for future, (task, attempt, _d) in list(outstanding.items()):
                         ready.append((task, attempt))
+                        beacon.active.pop(task.key, None)
                     outstanding.clear()
                     self._kill_pool()
                     consecutive_deaths += 1
+                    maybe_dump(
+                        "worker-death",
+                        {"consecutive_deaths": consecutive_deaths,
+                         "requeued": len(ready)},
+                    )
                     if consecutive_deaths > self.policy.max_pool_respawns:
                         degraded = True
                         budget.degraded_serial = True
@@ -371,6 +403,7 @@ class Supervisor:
                         )
                     else:
                         budget.pool_respawns += 1
+                        beacon.respawns += 1
                         obs_log.warning(
                             "supervisor.pool_respawn", deaths=consecutive_deaths
                         )
@@ -387,4 +420,6 @@ class Supervisor:
 
         if degraded:
             budget.degraded_serial = True
+        beacon.update(queue_depth=0)
+        beacon.maybe_write(min_interval=0.0)  # final state, not rate-limited
         return SupervisorReport(results=results, failures=failures, budget=budget)

@@ -23,9 +23,18 @@ Request handling is built for fleets of duplicate queries:
 - **graceful drain**: shutdown stops admitting (503), finishes every
   in-flight simulation, and answers the clients that were already queued.
 
-Endpoints: ``GET /healthz``, ``GET /metrics`` (Prometheus exposition of
-the live registry), ``POST /v1/conv`` (one query), ``POST /v1/conv/batch``
-(``{"queries": [...]}``).  Everything is stdlib-only — no web framework.
+Endpoints: ``GET /healthz``, ``GET /statusz`` (live beacon snapshot for
+``repro top``), ``GET /metrics`` (Prometheus exposition of the live
+registry, including per-route latency histograms), ``POST /v1/conv`` (one
+query), ``POST /v1/conv/batch`` (``{"queries": [...]}``).  Everything is
+stdlib-only — no web framework.
+
+Observability: every request gets a W3C-style trace context — parsed from
+an incoming ``traceparent`` header or freshly minted — echoed back as
+``X-Repro-Trace-Id`` alongside ``X-Repro-Run-Id``.  Under ``--trace`` the
+daemon records a connected span tree per request (``serve.request`` →
+``serve.batch`` → cache probe → engine spans) and writes the Chrome
+export on drain.
 """
 
 from __future__ import annotations
@@ -42,11 +51,14 @@ from ..core.conv_spec import ConvSpec
 from ..core.layouts import Layout
 from ..errors import ConfigError
 from ..obs import log as obs_log
+from ..obs.flight import beacon as flight_beacon
 from ..obs.prom import render_prometheus
 from ..perf.cache import config_key, spec_key
 from ..resilience.supervisor import ErrorBudget
 from ..systolic.config import TPU_V2, TPUConfig
 from ..systolic.simulator import TPUSim, tpu_multi_tile_policy
+from ..trace import context as trace_context
+from ..trace import tracer as trace
 from ..trace.metrics import MetricsRegistry
 
 __all__ = [
@@ -115,6 +127,11 @@ class Query:
     group_size: Optional[int]
     layout: Layout
     key: Tuple  # the simulator's exact cache key — also the dedup key
+    #: The request's trace context (excluded from equality/hashing so two
+    #: identical queries from different requests still dedup onto one key).
+    ctx: Optional[trace_context.TraceContext] = dataclasses.field(
+        default=None, compare=False
+    )
 
     @classmethod
     def parse(cls, payload: Any) -> "Query":
@@ -243,11 +260,21 @@ class SimulationService:
         """
         if self.draining:
             raise Draining("server is draining")
+        beacon = flight_beacon.get_beacon()
+        beacon.requests += 1
         self.registry.inc_counter("repro_serve_requests_total")
         existing = self._inflight.get(query.key)
         if existing is not None:
             # Identical query already in flight: same future, no new task.
             self.registry.inc_counter("repro_serve_deduped_total")
+            beacon.dedup_joins += 1
+            if query.ctx is not None:
+                # The joining request's tree records where its answer came
+                # from: an instant linking it to the in-flight computation.
+                trace.instant(
+                    "serve.dedup_join", cat="serve",
+                    trace_id=query.ctx.trace_id, span_id=query.ctx.span_id,
+                )
             self.budget.tasks += 1
             self.budget.succeeded += 1
             return existing
@@ -256,6 +283,7 @@ class SimulationService:
             self.budget.failed += 1
             self.budget.count_fault("LoadShed")
             self.registry.inc_counter("repro_serve_shed_total")
+            beacon.shed += 1
             raise LoadShed(
                 f"pending backlog {self.pending} exhausts the budget "
                 f"({self.config.max_pending})"
@@ -264,6 +292,8 @@ class SimulationService:
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._inflight[query.key] = future
         self._queue.append(query)
+        beacon.in_flight = self.pending
+        beacon.queue_depth = len(self._queue)
         if self._wakeup is not None:
             self._wakeup.set()
         return future
@@ -306,13 +336,37 @@ class SimulationService:
             specs = [q.spec for q in queries]
             started = time.perf_counter()
             misses_before = SIM_CACHE.misses
-            try:
-                results = await loop.run_in_executor(
-                    None,
-                    lambda: sim.simulate_conv_batch(
+            # The batch span parents under the first traced query's request;
+            # other members' trace ids ride along as link args so their
+            # trees point at the shared computation.
+            parent = next((q.ctx for q in queries if q.ctx is not None), None)
+            batch_ctx = parent.child() if parent is not None else None
+            links = [
+                q.ctx.trace_id
+                for q in queries
+                if q.ctx is not None and q.ctx is not parent
+            ]
+
+            def _price(ctx=batch_ctx, sim=sim, specs=specs,
+                       group_size=group_size, layout=layout):
+                # run_in_executor does not propagate contextvars: re-activate
+                # the batch node so engine spans/cache probes join its tree.
+                with trace_context.activate(ctx):
+                    return sim.simulate_conv_batch(
                         specs, group_size=group_size, layout=layout
-                    ),
-                )
+                    )
+
+            try:
+                if batch_ctx is not None:
+                    with trace_context.activate_root(batch_ctx):
+                        with trace.span(
+                            "serve.batch", cat="serve",
+                            queries=len(queries),
+                            linked_traces=",".join(links),
+                        ):
+                            results = await loop.run_in_executor(None, _price)
+                else:
+                    results = await loop.run_in_executor(None, _price)
             except Exception as err:  # pricing failed: fail those futures
                 for query in queries:
                     self.budget.failed += 1
@@ -323,6 +377,9 @@ class SimulationService:
                 obs_log.error(
                     "serve.batch_failed", error=str(err), queries=len(queries)
                 )
+                beacon = flight_beacon.get_beacon()
+                beacon.in_flight = self.pending
+                beacon.queue_depth = len(self._queue)
                 continue
             elapsed = time.perf_counter() - started
             # "Simulations" = fresh engine work, not queries priced: a query
@@ -339,13 +396,25 @@ class SimulationService:
                 future = self._inflight.pop(query.key, None)
                 if future is not None and not future.done():
                     future.set_result(result)
+            beacon = flight_beacon.get_beacon()
+            beacon.in_flight = self.pending
+            beacon.queue_depth = len(self._queue)
+            beacon.maybe_write()
+
+
+#: Paths with their own latency-histogram label; anything else is "other"
+#: so a port scan cannot explode the metric's label cardinality.
+KNOWN_ROUTES = ("/healthz", "/statusz", "/metrics", "/v1/conv", "/v1/conv/batch")
 
 
 class ReproServer:
     """The asyncio HTTP front-end around one :class:`SimulationService`."""
 
-    def __init__(self, service: SimulationService) -> None:
+    def __init__(
+        self, service: SimulationService, run_id: Optional[str] = None
+    ) -> None:
         self.service = service
+        self.run_id = run_id
         self._server: Optional[asyncio.base_events.Server] = None
 
     # ------------------------------------------------------------ lifecycle
@@ -378,23 +447,50 @@ class ReproServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        ctx: Optional[trace_context.TraceContext] = None
+        started = time.perf_counter()
+        route = "other"
         try:
             request = await self._read_request(reader)
             if request is None:
                 return
-            method, path, body = request
-            status, content_type, payload = await self._route(method, path, body)
+            method, path, headers, body = request
+            route = path if path in KNOWN_ROUTES else "other"
+            # One trace context per request: continue the caller's trace
+            # when a traceparent header arrived, else mint a fresh root.
+            ctx = trace_context.TraceContext.from_traceparent(
+                headers.get("traceparent")
+            ) or trace_context.TraceContext.new()
+            with trace_context.activate_root(ctx):
+                with trace.span(
+                    "serve.request", cat="serve", method=method, route=route
+                ) as span:
+                    status, content_type, payload = await self._route(
+                        method, path, body, ctx
+                    )
+                    if span is not trace.NULL_SPAN:
+                        span.note(status=status)
         except Exception as err:  # never tear the connection on a bug
             status, content_type, payload = 500, "application/json", json.dumps(
                 {"error": f"{type(err).__name__}: {err}"}
             )
+        self.service.registry.observe(
+            f'repro_serve_request_seconds{{route="{route}"}}',
+            time.perf_counter() - started,
+        )
         try:
             data = payload.encode("utf-8")
+            extra = ""
+            if ctx is not None:
+                extra += f"X-Repro-Trace-Id: {ctx.trace_id}\r\n"
+            if self.run_id:
+                extra += f"X-Repro-Run-Id: {self.run_id}\r\n"
             writer.write(
                 (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
                     f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(data)}\r\n"
+                    f"{extra}"
                     "Connection: close\r\n\r\n"
                 ).encode("ascii")
                 + data
@@ -410,7 +506,7 @@ class ReproServer:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> Optional[Tuple[str, str, bytes]]:
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
         try:
             head = await reader.readuntil(b"\r\n\r\n")
         except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
@@ -420,19 +516,26 @@ class ReproServer:
         if len(parts) != 3:
             return None
         method, path = parts[0].upper(), parts[1]
-        length = 0
+        headers: Dict[str, str] = {}
         for line in lines[1:]:
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    length = int(value.strip())
-                except ValueError:
-                    return None
+            if name and _:
+                headers[name.strip().lower()] = value.strip()
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                return None
         body = await reader.readexactly(length) if length else b""
-        return method, path, body
+        return method, path, headers, body
 
     async def _route(
-        self, method: str, path: str, body: bytes
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        ctx: Optional[trace_context.TraceContext] = None,
     ) -> Tuple[int, str, str]:
         service = self.service
         if method == "GET" and path == "/healthz":
@@ -444,16 +547,33 @@ class ReproServer:
                 },
                 sort_keys=True,
             )
+        if method == "GET" and path == "/statusz":
+            return 200, "application/json", json.dumps(
+                self.statusz(), sort_keys=True
+            )
         if method == "GET" and path == "/metrics":
             self._export_gauges()
             return 200, "text/plain; version=0.0.4", render_prometheus(
                 service.registry
             )
         if method == "POST" and path == "/v1/conv":
-            return await self._answer(body, batch=False)
+            return await self._answer(body, batch=False, ctx=ctx)
         if method == "POST" and path == "/v1/conv/batch":
-            return await self._answer(body, batch=True)
+            return await self._answer(body, batch=True, ctx=ctx)
         return 404, "application/json", json.dumps({"error": f"no route {path}"})
+
+    def statusz(self) -> dict:
+        """The live beacon snapshot, overlaid with serve-side truth."""
+        service = self.service
+        doc = flight_beacon.get_beacon().snapshot()
+        doc["role"] = "serve"
+        if self.run_id:
+            doc["run_id"] = self.run_id
+        doc["serve"]["in_flight"] = service.pending
+        doc["serve"]["draining"] = service.draining
+        doc["serve"]["simulations"] = service.simulations
+        doc["budget"] = service.budget.to_dict()
+        return doc
 
     def _export_gauges(self) -> None:
         """Point-in-time serve state, refreshed at scrape time."""
@@ -474,8 +594,12 @@ class ReproServer:
                 "repro_store_corrupt_skipped", float(store_stats.corrupt_skipped)
             )
 
-    async def _answer(self, body: bytes, batch: bool) -> Tuple[int, str, str]:
-        started = time.perf_counter()
+    async def _answer(
+        self,
+        body: bytes,
+        batch: bool,
+        ctx: Optional[trace_context.TraceContext] = None,
+    ) -> Tuple[int, str, str]:
         try:
             payload = json.loads(body.decode("utf-8")) if body else None
         except (json.JSONDecodeError, UnicodeDecodeError) as err:
@@ -491,6 +615,8 @@ class ReproServer:
                 queries = [Query.parse(payload)]
         except BadRequest as err:
             return 400, "application/json", json.dumps({"error": str(err)})
+        if ctx is not None:
+            queries = [dataclasses.replace(q, ctx=ctx) for q in queries]
         try:
             futures = [self.service.submit(q) for q in queries]
         except Draining as err:
@@ -498,9 +624,8 @@ class ReproServer:
         except LoadShed as err:
             return 429, "application/json", json.dumps({"error": str(err)})
         results = await asyncio.gather(*futures)
-        self.service.registry.observe(
-            "repro_serve_request_seconds", time.perf_counter() - started
-        )
+        # End-to-end latency is observed per route in _handle_connection;
+        # a second unlabeled observation here would double-count requests.
         answers = [result_payload(q, r) for q, r in zip(queries, results)]
         if batch:
             return 200, "application/json", json.dumps(
@@ -525,13 +650,19 @@ async def http_request(
     method: str,
     path: str,
     payload: Optional[Any] = None,
-) -> Tuple[int, Any]:
+    headers: Optional[Dict[str, str]] = None,
+    return_headers: bool = False,
+):
     """Minimal asyncio HTTP client: ``(status, decoded body)``.
 
     Used by the integration tests and ``tools/serve_smoke.py`` so the
-    round-trip stays stdlib-only end to end.
+    round-trip stays stdlib-only end to end.  ``headers`` adds extra
+    request headers (e.g. ``traceparent``); with ``return_headers`` the
+    result is ``(status, body, response_headers)`` with lower-cased
+    header names.
     """
     body = b"" if payload is None else json.dumps(payload).encode("utf-8")
+    extra = "".join(f"{k}: {v}\r\n" for k, v in (headers or {}).items())
     reader, writer = await asyncio.open_connection(host, port)
     try:
         writer.write(
@@ -540,6 +671,7 @@ async def http_request(
                 f"Host: {host}:{port}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Content-Type: application/json\r\n"
+                f"{extra}"
                 "Connection: close\r\n\r\n"
             ).encode("ascii")
             + body
@@ -556,8 +688,17 @@ async def http_request(
     status = int(head.split(b" ", 2)[1])
     text = data.decode("utf-8")
     if b"application/json" in head:
-        return status, json.loads(text) if text else None
-    return status, text
+        decoded: Any = json.loads(text) if text else None
+    else:
+        decoded = text
+    if not return_headers:
+        return status, decoded
+    response_headers: Dict[str, str] = {}
+    for line in head.decode("latin-1").split("\r\n")[1:]:
+        name, sep, value = line.partition(":")
+        if sep:
+            response_headers[name.strip().lower()] = value.strip()
+    return status, decoded, response_headers
 
 
 # ----------------------------------------------------------------- CLI entry
@@ -580,6 +721,20 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="S", help="coalescing window before each engine batch")
     parser.add_argument("--max-batch", type=int, default=defaults.max_batch,
                         help="queries per simulate_conv_batch call at most")
+    parser.add_argument("--run-id", default=None,
+                        help="run id stamped on responses/logs (default: generated)")
+    parser.add_argument("--log-file", default=None, metavar="PATH",
+                        help="append JSONL log events (with run/trace ids) here")
+    parser.add_argument("--trace", default=None, metavar="PATH", nargs="?",
+                        const="serve-trace.json",
+                        help="record request span trees; Chrome export written "
+                             "to PATH on drain (default serve-trace.json)")
+    parser.add_argument("--status-file", default=None, metavar="PATH",
+                        help="mirror the live beacon snapshot to this file "
+                             "(readable by 'repro top --status-file')")
+    parser.add_argument("--flight", default=None, metavar="DIR",
+                        help="enable the flight recorder; dumps land in DIR "
+                             "on faults or SIGUSR1")
     return parser
 
 
@@ -591,6 +746,19 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         batch_window_s=args.batch_window, max_batch=args.max_batch,
         store_dir=args.store,
     )
+    from ..obs.manifest import new_run_id
+
+    run_id = args.run_id or new_run_id()
+    obs_log.configure(log_file=args.log_file, run_id=run_id)
+    flight_beacon.configure_beacon(
+        role="serve", run_id=run_id, status_path=args.status_file
+    )
+    if args.flight:
+        from ..obs.flight import recorder as flight_recorder
+
+        flight_recorder.configure_recorder(run_dir=args.flight)
+    if args.trace:
+        trace.enable()
     if config.store_dir:
         from . import attach
 
@@ -600,10 +768,11 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
 
     async def run() -> None:
         service = SimulationService(config)
-        server = ReproServer(service)
+        server = ReproServer(service, run_id=run_id)
         host, port = await server.start()
         print(f"serve: listening on http://{host}:{port} "
-              f"(max_pending={config.max_pending}, max_batch={config.max_batch})",
+              f"(max_pending={config.max_pending}, max_batch={config.max_batch}, "
+              f"run={run_id})",
               flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -617,6 +786,14 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         budget = service.budget
         print(f"serve: drained; served {budget.succeeded}/{budget.tasks} "
               f"(shed {budget.faults_by_class.get('LoadShed', 0)})")
+        if args.trace:
+            from ..trace.export import write_chrome_trace
+
+            path = write_chrome_trace(
+                args.trace, trace.drain_events(), {"run_id": run_id}
+            )
+            print(f"serve: trace written to {path}")
 
     asyncio.run(run())
+    obs_log.shutdown()
     return 0

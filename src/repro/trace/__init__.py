@@ -1,10 +1,13 @@
 """Cycle-accounting observability: tracing, metrics audits, golden snapshots.
 
-Four pieces, layered so the simulators pay nothing unless a run opts in:
+Five pieces, layered so the simulators pay nothing unless a run opts in:
 
 - :mod:`repro.trace.tracer` — structured spans/instants/counters with a
   zero-overhead disabled path (the instrumented modules call straight into
   it);
+- :mod:`repro.trace.context` — W3C-style trace-context propagation
+  (``trace_id``/``span_id``/``traceparent``) so one request or sweep task
+  yields a connected span tree across threads and processes;
 - :mod:`repro.trace.metrics` — per-layer cycle-accounting records with
   invariant audits (exposure identity, cache coherence, utilization bounds);
 - :mod:`repro.trace.export` — Chrome ``trace_event`` JSON and the ``--trace``
@@ -19,6 +22,15 @@ import it explicitly as ``repro.trace.goldens``.
 See DESIGN.md ("Cycle-accounting observability") for semantics.
 """
 
+from .context import (
+    TRACEPARENT_ENV,
+    TraceContext,
+    activate,
+    activate_root,
+    attach,
+    current,
+    detach,
+)
 from .tracer import (
     NULL_SPAN,
     TraceEvent,
@@ -46,9 +58,16 @@ from .metrics import (
     record_layer,
     set_registry,
 )
-from .export import chrome_trace_payload, render_summary, write_chrome_trace
+from .export import chrome_trace_payload, render_summary, span_forest, write_chrome_trace
 
 __all__ = [
+    "TRACEPARENT_ENV",
+    "TraceContext",
+    "activate",
+    "activate_root",
+    "attach",
+    "current",
+    "detach",
     "NULL_SPAN",
     "TraceEvent",
     "Tracer",
@@ -74,5 +93,6 @@ __all__ = [
     "set_registry",
     "chrome_trace_payload",
     "render_summary",
+    "span_forest",
     "write_chrome_trace",
 ]

@@ -1,0 +1,198 @@
+"""W3C-style trace context: one identity per request/task, everywhere it goes.
+
+A :class:`TraceContext` is the ``(trace_id, span_id, parent_span_id)``
+triple the W3C Trace Context spec carries in a ``traceparent`` header
+(``00-<32 hex>-<16 hex>-01``).  The repo's tracer (:mod:`repro.trace.tracer`)
+stamps those ids onto every span/instant it records while a context is
+active, so one logical operation — an HTTP query into ``repro serve``, one
+experiment of a ``--jobs N`` sweep — yields a *connected span tree* in the
+Chrome export and in the JSONL logs, across process boundaries.
+
+Propagation surfaces:
+
+- **in-process**: a :mod:`contextvars` variable, so concurrent asyncio
+  requests in the serve daemon each see their own context and worker
+  threads can adopt one explicitly (:func:`activate`);
+- **HTTP**: ``traceparent`` request headers are parsed by the serve
+  daemon; responses echo the trace id in ``X-Repro-Trace-Id``;
+- **cross-process**: the harness threads a ``traceparent`` string through
+  the supervisor task payload (and :data:`TRACEPARENT_ENV` for processes
+  spawned outside the supervisor, e.g. ``repro serve`` behind a gateway),
+  so pool workers parent their spans under the run's root.
+
+Everything here is allocation-light and pure stdlib; with tracing disabled
+none of it is consulted on the simulators' hot paths.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import dataclasses
+import os
+import re
+from typing import Dict, Iterator, Optional
+
+__all__ = [
+    "TraceContext",
+    "TRACEPARENT_ENV",
+    "current",
+    "attach",
+    "detach",
+    "activate",
+    "activate_root",
+    "consume_adopt",
+    "from_env",
+    "to_env",
+]
+
+#: Environment variable carrying a ``traceparent`` across process spawns.
+TRACEPARENT_ENV = "REPRO_TRACEPARENT"
+
+_TRACEPARENT_RE = re.compile(
+    r"^([0-9a-f]{2})-([0-9a-f]{32})-([0-9a-f]{16})-([0-9a-f]{2})$"
+)
+
+
+def _hex_id(nbytes: int) -> str:
+    """A random lowercase-hex id (``os.urandom`` — no global RNG state)."""
+    return os.urandom(nbytes).hex()
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceContext:
+    """One node of a distributed span tree.
+
+    ``trace_id`` names the whole tree (one per request/task);
+    ``span_id`` names this node; ``parent_span_id`` is empty on roots.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str = ""
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context (new trace, no parent)."""
+        return cls(trace_id=_hex_id(16), span_id=_hex_id(8))
+
+    def child(self) -> "TraceContext":
+        """A child node: same trace, fresh span id, parented here."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=_hex_id(8),
+            parent_span_id=self.span_id,
+        )
+
+    # ------------------------------------------------------------- wire formats
+    def to_traceparent(self) -> str:
+        """The W3C ``traceparent`` header value for this node."""
+        return f"00-{self.trace_id}-{self.span_id}-01"
+
+    @classmethod
+    def from_traceparent(cls, header: Optional[str]) -> Optional["TraceContext"]:
+        """Parse a ``traceparent`` header; ``None`` on anything malformed.
+
+        The sender's ``span_id`` becomes this context's span id, so the
+        receiver's first span parents under the sender — exactly the W3C
+        parent/child handoff.
+        """
+        if not header:
+            return None
+        match = _TRACEPARENT_RE.match(header.strip().lower())
+        if match is None:
+            return None
+        _, trace_id, span_id, _ = match.groups()
+        if trace_id == "0" * 32 or span_id == "0" * 16:
+            return None  # the spec's invalid all-zero ids
+        return cls(trace_id=trace_id, span_id=span_id)
+
+    def ids(self) -> Dict[str, str]:
+        """The id fields as span/log args (parent omitted when empty)."""
+        out = {"trace_id": self.trace_id, "span_id": self.span_id}
+        if self.parent_span_id:
+            out["parent_span_id"] = self.parent_span_id
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The in-process current context (contextvars: asyncio- and thread-correct)
+# ---------------------------------------------------------------------------
+
+_CURRENT: contextvars.ContextVar[Optional[TraceContext]] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+#: When set, the next span opened *adopts* the current context (becomes the
+#: tree's root node) instead of allocating a child — this is how a context
+#: received over a process/HTTP boundary becomes the root span of the
+#: receiving side's subtree.
+_ADOPT: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_trace_adopt", default=False
+)
+
+
+def current() -> Optional[TraceContext]:
+    return _CURRENT.get()
+
+
+def attach(ctx: Optional[TraceContext]) -> contextvars.Token:
+    """Make ``ctx`` current; returns a token for :func:`detach`."""
+    return _CURRENT.set(ctx)
+
+
+def detach(token: contextvars.Token) -> None:
+    _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def activate(ctx: Optional[TraceContext]) -> Iterator[Optional[TraceContext]]:
+    """``with activate(ctx): ...`` — scoped current-context swap."""
+    token = _CURRENT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CURRENT.reset(token)
+
+
+@contextlib.contextmanager
+def activate_root(ctx: TraceContext) -> Iterator[TraceContext]:
+    """Activate ``ctx`` and let the next span *become* it.
+
+    Used at operation entry points (HTTP handler, supervised task body):
+    the first span opened inside the block records with ``ctx``'s own
+    ``span_id`` — it is the root of this side's subtree — and later spans
+    nest beneath it as usual.
+    """
+    token = _CURRENT.set(ctx)
+    adopt_token = _ADOPT.set(True)
+    try:
+        yield ctx
+    finally:
+        _ADOPT.reset(adopt_token)
+        _CURRENT.reset(token)
+
+
+def consume_adopt() -> bool:
+    """True exactly once after :func:`activate_root` (tracer internal)."""
+    if _ADOPT.get():
+        _ADOPT.set(False)
+        return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Environment propagation (processes spawned outside the supervisor payload)
+# ---------------------------------------------------------------------------
+
+
+def to_env(ctx: TraceContext, environ: Optional[dict] = None) -> dict:
+    """Export ``ctx`` as :data:`TRACEPARENT_ENV` (defaults to ``os.environ``)."""
+    target = os.environ if environ is None else environ
+    target[TRACEPARENT_ENV] = ctx.to_traceparent()
+    return target
+
+
+def from_env(environ: Optional[dict] = None) -> Optional[TraceContext]:
+    """The context exported by a parent process, if any."""
+    source = os.environ if environ is None else environ
+    return TraceContext.from_traceparent(source.get(TRACEPARENT_ENV))

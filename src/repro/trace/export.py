@@ -19,7 +19,43 @@ __all__ = [
     "chrome_trace_payload",
     "write_chrome_trace",
     "render_summary",
+    "span_forest",
 ]
+
+
+def span_forest(events: Iterable[TraceEvent]) -> Dict[str, dict]:
+    """Reassemble trace-context span trees from exported events.
+
+    Groups complete (``"X"``) events that carry ``trace_id``/``span_id``
+    args (spans recorded while a :mod:`repro.trace.context` context was
+    active) and, per trace, classifies each span:
+
+    - a **root** has an empty/absent ``parent_span_id``;
+    - an **orphan** names a parent span id that no span in the same trace
+      owns — the signature of a broken propagation hop.
+
+    Returns ``{trace_id: {"spans": {span_id: event}, "roots": [span_id],
+    "orphans": [span_id]}}``.  A healthy cross-process operation shows up
+    as one trace with exactly one root and zero orphans.
+    """
+    forest: Dict[str, dict] = {}
+    for event in events:
+        if event.ph != "X":
+            continue
+        args = dict(event.args)
+        trace_id, span_id = args.get("trace_id"), args.get("span_id")
+        if not trace_id or not span_id:
+            continue
+        tree = forest.setdefault(trace_id, {"spans": {}, "roots": [], "orphans": []})
+        tree["spans"][span_id] = event
+    for tree in forest.values():
+        for span_id, event in tree["spans"].items():
+            parent = dict(event.args).get("parent_span_id", "")
+            if not parent:
+                tree["roots"].append(span_id)
+            elif parent not in tree["spans"]:
+                tree["orphans"].append(span_id)
+    return forest
 
 
 def chrome_trace_payload(

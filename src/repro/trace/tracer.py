@@ -28,7 +28,9 @@ from __future__ import annotations
 import dataclasses
 import os
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import context as _context
 
 __all__ = [
     "TraceEvent",
@@ -101,9 +103,17 @@ NULL_SPAN = _NullSpan()
 
 
 class _Span:
-    """An open span; appends one complete event when the ``with`` exits."""
+    """An open span; appends one complete event when the ``with`` exits.
 
-    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start")
+    While a :class:`~repro.trace.context.TraceContext` is active the span
+    joins its tree: it either *adopts* the current context (operation
+    roots, see :func:`repro.trace.context.activate_root`) or allocates a
+    child node, makes that node current for its dynamic extent, and stamps
+    ``trace_id``/``span_id``/``parent_span_id`` into the event args — the
+    Chrome export and the JSONL logs reassemble the tree by those ids.
+    """
+
+    __slots__ = ("_tracer", "_name", "_cat", "_args", "_start", "_ctx", "_token")
 
     def __init__(self, tracer: "Tracer", name: str, cat: str, args: dict):
         self._tracer = tracer
@@ -111,9 +121,18 @@ class _Span:
         self._cat = cat
         self._args = args
         self._start = 0.0
+        self._ctx = None
+        self._token = None
 
     def __enter__(self) -> "_Span":
         self._tracer._depth += 1
+        ctx = _context.current()
+        if ctx is not None:
+            if _context.consume_adopt():
+                self._ctx = ctx  # this span IS the received context's node
+            else:
+                self._ctx = ctx.child()
+                self._token = _context.attach(self._ctx)
         self._start = self._tracer._now_us()
         return self
 
@@ -121,6 +140,10 @@ class _Span:
         tracer = self._tracer
         end = tracer._now_us()
         tracer._depth -= 1
+        if self._ctx is not None:
+            if self._token is not None:
+                _context.detach(self._token)
+            self._args.update(self._ctx.ids())
         tracer._append(
             TraceEvent(
                 name=self._name,
@@ -149,7 +172,7 @@ class Tracer:
     tracer, and events are merged by pid afterwards.
     """
 
-    __slots__ = ("enabled", "pid", "_events", "_counters", "_depth", "_epoch")
+    __slots__ = ("enabled", "pid", "_events", "_counters", "_depth", "_epoch", "tap")
 
     def __init__(self, enabled: bool = False):
         self.enabled = enabled
@@ -158,6 +181,8 @@ class Tracer:
         self._counters: Dict[str, float] = {}
         self._depth = 0
         self._epoch = time.perf_counter()
+        #: Optional event tee (the flight recorder's ring buffer taps here).
+        self.tap: Optional[Callable[[TraceEvent], None]] = None
 
     # ------------------------------------------------------------- lifecycle
     def enable(self) -> None:
@@ -182,9 +207,18 @@ class Tracer:
         return _Span(self, name, cat, args)
 
     def instant(self, name: str, cat: str = "sim", **args) -> None:
-        """A zero-duration marker (``"i"`` event)."""
+        """A zero-duration marker (``"i"`` event).
+
+        Attributed to the enclosing span's trace context when one is
+        active (the instant carries the *current* span's ids, so tree
+        reassembly can hang it off the right node).
+        """
         if not self.enabled:
             return
+        ctx = _context.current()
+        if ctx is not None:
+            args.setdefault("trace_id", ctx.trace_id)
+            args.setdefault("span_id", ctx.span_id)
         self._append(
             TraceEvent(
                 name=name,
@@ -251,6 +285,8 @@ class Tracer:
 
     def _append(self, event: TraceEvent) -> None:
         self._events.append(event)
+        if self.tap is not None:
+            self.tap(event)
 
 
 #: The process-global tracer behind the module-level helpers.

@@ -1,0 +1,147 @@
+"""``repro report``: Fig 2a attribution arithmetic, rendering, CLI."""
+
+import json
+
+import pytest
+
+from repro.harness.attribution import (
+    attribute_entries,
+    load_golden,
+    render_html,
+    render_markdown,
+    report_main,
+    summarize,
+)
+from repro.systolic.config import TPU_V2
+from repro.trace.goldens import compute_golden
+
+GOLDENS_DIR = "tests/trace/goldens"
+
+
+@pytest.fixture(scope="module")
+def fig13_payload():
+    return load_golden(f"{GOLDENS_DIR}/fig13.json")
+
+
+@pytest.fixture(scope="module")
+def fig13_rows(fig13_payload):
+    return attribute_entries(fig13_payload)
+
+
+# ----------------------------------------------------------- decomposition
+
+
+def test_every_tpu_entry_yields_a_row(fig13_payload, fig13_rows):
+    tpu = [e for e in fig13_payload["entries"]
+           if e["kind"] in ("tpu-conv", "tpu-gemm")]
+    assert len(fig13_rows) == len(tpu) > 0
+
+
+def test_split_reconstructs_the_golden_cycle_identity(fig13_rows):
+    """ideal + lowering == compute_cycles, and the three parts cover the
+    total (cycles = compute + exposed DMA for single-array runs)."""
+    for row in fig13_rows:
+        compute = row["ideal_cycles"] + row["lowering_cycles"]
+        assert compute + row["dram_cycles"] == pytest.approx(row["cycles"])
+        assert 0.0 < row["ideal_frac"] <= 1.0
+        assert row["lowering_frac"] >= 0.0 and row["dram_frac"] >= 0.0
+
+
+def test_ideal_is_the_mac_roofline(fig13_payload, fig13_rows):
+    by_name = {e["workload"]: e for e in fig13_payload["entries"]}
+    for row in fig13_rows:
+        macs = by_name[row["workload"]]["macs"]
+        assert row["ideal_cycles"] == pytest.approx(
+            macs / TPU_V2.peak_macs_per_cycle
+        )
+
+
+def test_every_fig13_workload_gets_a_roofline_placement(fig13_rows):
+    for row in fig13_rows:
+        assert row["roofline"] is not None, row["workload"]
+        assert row["roofline"]["bound"] in ("compute", "memory")
+        assert row["roofline"]["intensity"] > 0
+
+
+def test_fig16_array_variant_configs_are_resolved():
+    rows = attribute_entries(compute_golden("fig16"))
+    configs = {row["config"] for row in rows}
+    assert configs == {"tpu_v2.array64", "tpu_v2.array128", "tpu_v2.array256"}
+    # A bigger array means more ideal cycles lost to lowering on VGG16.
+    frac = {
+        tag: summarize([r for r in rows if r["config"] == tag])["lowering_frac"]
+        for tag in sorted(configs)
+    }
+    assert frac["tpu_v2.array256"] > frac["tpu_v2.array64"]
+
+
+def test_non_cycle_kinds_are_skipped():
+    rows = attribute_entries(compute_golden("fig7"))  # ifmap-fill entries only
+    assert rows == []
+
+
+def test_unknown_experiment_still_attributes_without_roofline():
+    payload = {
+        "experiment": "mystery",
+        "entries": [{
+            "kind": "tpu-gemm", "config": "tpu_v2", "workload": "g",
+            "cycles": 1000.0, "compute_cycles": 900.0, "dma_cycles": 400.0,
+            "exposed_dma_cycles": 100.0, "macs": 8_000_000, "group_size": 1,
+        }],
+    }
+    (row,) = attribute_entries(payload)
+    assert row["roofline"] is None
+    assert row["ideal_cycles"] == pytest.approx(8_000_000 / 16384)
+
+
+# ---------------------------------------------------------------- rendering
+
+
+def test_markdown_has_summary_table_and_truncation(fig13_rows):
+    text = render_markdown("fig13", fig13_rows, top=5)
+    assert "## Bottleneck attribution · fig13" in text
+    assert "compute " in text and "lowering overhead " in text
+    assert text.count("\n| ") - 1 == 5  # header row + 5 workload rows
+    assert "more workloads (summary covers all)" in text
+
+
+def test_markdown_handles_empty_rows():
+    assert "No TPU cycle entries" in render_markdown("fig7", [])
+
+
+def test_html_wraps_sections():
+    html = render_html(["## a", "## b"])
+    assert html.startswith("<!doctype html>") and "## a" in html and "## b" in html
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+def test_report_main_defaults_to_fig13(capsys):
+    assert report_main([]) == 0
+    out = capsys.readouterr().out
+    assert "Bottleneck attribution · fig13" in out
+
+
+def test_report_main_writes_output_file(tmp_path, capsys):
+    out_path = tmp_path / "report.md"
+    assert report_main(["fig13", "fig16", "-o", str(out_path)]) == 0
+    text = out_path.read_text()
+    assert "fig13" in text and "fig16" in text
+
+
+def test_report_main_html(tmp_path):
+    out_path = tmp_path / "report.html"
+    assert report_main(["fig13", "--html", "-o", str(out_path)]) == 0
+    assert out_path.read_text().startswith("<!doctype html>")
+
+
+def test_report_main_missing_golden_exits_nonzero(capsys):
+    assert report_main(["nonesuch"]) == 1
+    assert "no golden payload" in capsys.readouterr().err
+
+
+def test_report_main_malformed_golden_exits_nonzero(tmp_path, capsys):
+    (tmp_path / "fig13.json").write_text(json.dumps({"nope": 1}))
+    assert report_main(["fig13", "--goldens", str(tmp_path)]) == 1
+    assert "not a golden payload" in capsys.readouterr().err

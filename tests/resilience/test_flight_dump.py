@@ -1,0 +1,75 @@
+"""Flight-recorder dumps from the supervisor when workers die or time out.
+
+A SIGKILL'd worker cannot write its own post-mortem — ``crash@I`` is an
+``os._exit`` mid-task — so the *supervisor* dumps its ring when it detects
+the pool death.  These tests drive the real runner with fault injection and
+assert the dump is a well-formed, schema-complete JSON document.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.runner import main
+from repro.obs import log as obs_log
+from repro.obs.flight import recorder as recorder_mod
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    obs_log.shutdown()
+    yield
+    recorder_mod.reset_recorder()
+    obs_log.shutdown()
+
+
+def _flight_dumps(run_dir, reason):
+    return sorted(run_dir.glob(f"flightrec-{reason}-*.json"))
+
+
+def test_worker_kill9_leaves_a_wellformed_supervisor_dump(tmp_path, capsys):
+    code = main(
+        ["table2", "fig2", "--quick", "--jobs", "2", "--flight",
+         "--run-id", "r1", "--results-dir", str(tmp_path),
+         "--inject-faults", "crash@1"],
+    )
+    capsys.readouterr()
+    assert code == 0  # crash@1 is first-attempt-only: the retry succeeds
+
+    (dump_path,) = _flight_dumps(tmp_path / "r1", "worker-death")
+    doc = json.loads(dump_path.read_text())
+    assert doc["schema"] == 1 and doc["kind"] == "flight-recorder"
+    assert doc["reason"] == "worker-death"
+    assert isinstance(doc["spans"], list) and isinstance(doc["logs"], list)
+    assert doc["extra"]["consecutive_deaths"] >= 1
+    assert doc["extra"]["requeued"] >= 0
+    assert doc["dropped"] == {"spans": 0, "logs": 0}
+    # The supervisor's own ring captured the run's structured log events.
+    assert any("event" in record for record in doc["logs"])
+
+
+def test_supervisor_timeout_dumps_with_task_identity(tmp_path, capsys):
+    code = main(
+        ["table2", "fig2", "--quick", "--jobs", "2", "--flight",
+         "--run-id", "r2", "--results-dir", str(tmp_path),
+         "--task-timeout", "2", "--inject-faults", "hang@1"],
+    )
+    capsys.readouterr()
+    assert code == 0  # hang@1 is first-attempt-only: the retry succeeds
+
+    (dump_path,) = _flight_dumps(tmp_path / "r2", "supervisor-timeout")
+    doc = json.loads(dump_path.read_text())
+    assert doc["reason"] == "supervisor-timeout"
+    assert doc["extra"]["task"] in ("table2", "fig2")
+    assert doc["extra"]["timeout_s"] == 2.0
+
+
+def test_no_flight_flag_means_no_dump_files(tmp_path, capsys):
+    code = main(
+        ["table2", "fig2", "--quick", "--jobs", "2",
+         "--run-id", "r3", "--results-dir", str(tmp_path),
+         "--inject-faults", "crash@1"],
+    )
+    capsys.readouterr()
+    assert code == 0
+    assert list((tmp_path / "r3").glob("flightrec-*.json")) == []

@@ -1,0 +1,126 @@
+"""W3C-style trace-context propagation: ids, headers, env, adopt-root."""
+
+import os
+
+import pytest
+
+from repro.trace import context as tc
+
+
+@pytest.fixture(autouse=True)
+def _clean_context():
+    yield
+    # Tests that attach without detaching must not leak into the next test.
+    tc.attach(None)
+
+
+# ------------------------------------------------------------------- ids
+
+
+def test_new_mints_wellformed_ids():
+    ctx = tc.TraceContext.new()
+    assert len(ctx.trace_id) == 32 and int(ctx.trace_id, 16) != 0
+    assert len(ctx.span_id) == 16 and int(ctx.span_id, 16) != 0
+    assert ctx.parent_span_id == ""
+
+
+def test_child_shares_trace_and_links_parent():
+    parent = tc.TraceContext.new()
+    child = parent.child()
+    assert child.trace_id == parent.trace_id
+    assert child.parent_span_id == parent.span_id
+    assert child.span_id != parent.span_id
+
+
+def test_ids_dict_drops_empty_parent():
+    root = tc.TraceContext.new()
+    assert set(root.ids()) == {"trace_id", "span_id"}
+    assert set(root.child().ids()) == {"trace_id", "span_id", "parent_span_id"}
+
+
+# ------------------------------------------------------- traceparent header
+
+
+def test_traceparent_round_trip():
+    ctx = tc.TraceContext.new()
+    parsed = tc.TraceContext.from_traceparent(ctx.to_traceparent())
+    assert parsed is not None
+    assert (parsed.trace_id, parsed.span_id) == (ctx.trace_id, ctx.span_id)
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        None,
+        "",
+        "garbage",
+        "00-xyz-123-01",
+        "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace id
+        "00-" + "1" * 32 + "-" + "0" * 16 + "-01",  # all-zero span id
+        "00-" + "a" * 31 + "-" + "b" * 16 + "-01",  # short trace id
+    ],
+)
+def test_malformed_traceparent_rejected(header):
+    assert tc.TraceContext.from_traceparent(header) is None
+
+
+def test_env_round_trip():
+    ctx = tc.TraceContext.new()
+    env = tc.to_env(ctx, {})
+    assert tc.TRACEPARENT_ENV in env
+    restored = tc.from_env(env)
+    assert restored is not None and restored.trace_id == ctx.trace_id
+    assert tc.from_env({}) is None
+
+
+def test_from_env_defaults_to_os_environ(monkeypatch):
+    ctx = tc.TraceContext.new()
+    monkeypatch.setitem(os.environ, tc.TRACEPARENT_ENV, ctx.to_traceparent())
+    restored = tc.from_env()
+    assert restored is not None and restored.span_id == ctx.span_id
+
+
+# ---------------------------------------------------------- contextvar flow
+
+
+def test_activate_restores_previous_context():
+    outer = tc.TraceContext.new()
+    inner = tc.TraceContext.new()
+    with tc.activate(outer):
+        assert tc.current() is outer
+        with tc.activate(inner):
+            assert tc.current() is inner
+        assert tc.current() is outer
+    assert tc.current() is None
+
+
+def test_adopt_root_consumed_exactly_once():
+    ctx = tc.TraceContext.new()
+    with tc.activate_root(ctx):
+        assert tc.current() is ctx
+        assert tc.consume_adopt() is True
+        assert tc.consume_adopt() is False  # second opener must mint a child
+    assert tc.consume_adopt() is False
+
+
+def test_adopted_root_span_keeps_the_propagated_ids():
+    """The first span after activate_root IS the propagated context — that is
+    what stitches a worker's subtree under the supervisor's task node."""
+    from repro.trace import tracer as trace
+
+    trace.set_tracer(trace.Tracer())
+    trace.enable()
+    try:
+        ctx = tc.TraceContext.new()
+        with tc.activate_root(ctx):
+            with trace.span("task", cat="test"):
+                with trace.span("step", cat="test"):
+                    pass
+        events = trace.drain_events()
+    finally:
+        trace.set_tracer(trace.Tracer())
+    spans = {e.name: dict(e.args) for e in events if e.ph == "X"}
+    assert spans["task"]["span_id"] == ctx.span_id
+    assert spans["task"]["trace_id"] == ctx.trace_id
+    assert "parent_span_id" not in spans["task"]  # adopted root stays a root
+    assert spans["step"]["parent_span_id"] == ctx.span_id

@@ -3,13 +3,20 @@
 Boots the daemon as a subprocess on an ephemeral port with a tmpdir
 persistent store, issues one conv-timing query plus the same query again
 (which must be served without a new simulation — the store/memo answer),
-checks ``/healthz`` and ``/metrics`` expose the serve counters, then
-shuts the daemon down gracefully (SIGTERM) and requires a clean exit.
+schema-checks ``/healthz`` and ``/statusz``, checks ``/metrics`` exposes
+the serve counters (including the per-route latency histogram) and that
+responses carry ``X-Repro-Run-Id``/``X-Repro-Trace-Id``, then shuts the
+daemon down gracefully (SIGTERM) and requires a clean exit.
+
+A malformed (non-JSON, or JSON of the wrong shape) control-endpoint
+response is a hard failure — the tool exits nonzero with the offending
+payload, it never tracebacks through a ``KeyError``.
 
 Run via ``make serve-smoke``.  Exit 0 = every step held.
 """
 
 import asyncio
+import json
 import pathlib
 import re
 import signal
@@ -47,12 +54,61 @@ def wait_for_port(proc: subprocess.Popen, timeout_s: float = 30.0) -> int:
     raise SystemExit("serve never reported a listen address")
 
 
+def check_json_doc(endpoint: str, body, required: dict) -> dict:
+    """Schema gate for a control endpoint: JSON object + typed keys.
+
+    ``http_request`` returns the raw text when the server mislabels (or
+    corrupts) a JSON body, so a ``str`` here means malformed JSON — fail
+    with the payload, not a ``KeyError`` traceback downstream.
+    """
+    if isinstance(body, str):
+        try:
+            body = json.loads(body)
+        except json.JSONDecodeError as err:
+            raise SystemExit(
+                f"{endpoint}: malformed JSON ({err}): {body[:200]!r}"
+            )
+    if not isinstance(body, dict):
+        raise SystemExit(f"{endpoint}: expected a JSON object, got {body!r}")
+    for key, expected_type in required.items():
+        if key not in body:
+            raise SystemExit(
+                f"{endpoint}: missing {key!r} (got keys {sorted(body)})"
+            )
+        if not isinstance(body[key], expected_type):
+            raise SystemExit(
+                f"{endpoint}: {key!r} should be {expected_type}, "
+                f"got {body[key]!r}"
+            )
+    return body
+
+
 async def exercise(port: int) -> None:
-    status, health = await http_request("127.0.0.1", port, "GET", "/healthz")
-    assert status == 200 and health["status"] == "ok", (status, health)
+    status, health, headers = await http_request(
+        "127.0.0.1", port, "GET", "/healthz", return_headers=True
+    )
+    assert status == 200, (status, health)
+    health = check_json_doc(
+        "/healthz", health, {"status": str, "pending": int, "budget": dict}
+    )
+    assert health["status"] == "ok", health
+    assert headers.get("x-repro-run-id"), f"no X-Repro-Run-Id: {headers}"
+    assert headers.get("x-repro-trace-id"), f"no X-Repro-Trace-Id: {headers}"
+
+    status, topdoc = await http_request("127.0.0.1", port, "GET", "/statusz")
+    assert status == 200, (status, topdoc)
+    topdoc = check_json_doc(
+        "/statusz",
+        topdoc,
+        {"kind": str, "role": str, "serve": dict, "cache": dict, "budget": dict},
+    )
+    assert topdoc["kind"] == "repro-status" and topdoc["role"] == "serve", topdoc
 
     status, first = await http_request("127.0.0.1", port, "POST", "/v1/conv", QUERY)
     assert status == 200, (status, first)
+    first = check_json_doc(
+        "/v1/conv", first, {"cycles": (int, float), "utilization": (int, float)}
+    )
     assert first["cycles"] > 0 and 0 < first["utilization"] <= 1, first
 
     status, again = await http_request("127.0.0.1", port, "POST", "/v1/conv", QUERY)
@@ -65,13 +121,17 @@ async def exercise(port: int) -> None:
         "repro_serve_simulations_total",
         "repro_serve_batches_total",
         "repro_sim_cache_hit_rate",
+        'repro_serve_request_seconds_bucket{le="0.005",route="/v1/conv"}',
     ):
         assert needle in metrics, f"missing {needle} in /metrics"
     sims = re.search(r"repro_serve_simulations_total (\d+)", metrics)
     assert sims and int(sims.group(1)) == 1, (
         f"repeat query must not re-simulate: {sims and sims.group(0)}"
     )
-    print(f"serve-smoke: 2 queries, 1 simulation, /metrics ok (port {port})")
+    print(
+        f"serve-smoke: 2 queries, 1 simulation, /healthz+/statusz schema ok, "
+        f"/metrics ok (port {port})"
+    )
 
 
 def main() -> int:
