@@ -20,9 +20,14 @@ Commands:
   asyncio daemon answering ConvSpec timing queries over HTTP/JSON with
   in-flight dedup, engine batching, 429 load shedding and ``/metrics``
   (see :mod:`repro.store.serve`).
-- ``store verify|stats|compact DIR`` — integrity-scan, describe, or
-  LRU-compact a persistent result store (``run --store DIR`` creates one;
-  see :mod:`repro.store`).
+- ``store verify|stats|compact DIR`` — integrity-scan (``verify
+  --quarantine`` moves corrupt records into ``<store>/quarantine/`` and
+  exits 0 once healed), describe, or LRU-compact a persistent result
+  store (``run --store DIR`` creates one; see :mod:`repro.store`).
+- ``dse sweep|status|replay`` — resilient distributed design-space
+  exploration: lease-based sharded sweep with adaptive Pareto refinement,
+  poison-task quarantine and a crash-safe, byte-reproducible frontier
+  artifact (see :mod:`repro.dse`).
 - ``fuzz [--specs N] [--seed S] [--corpus DIR] [--inject-faults SPEC]`` —
   run random conv specs under full audit; failures are shrunk to minimal
   reproducers and appended crash-safely to ``tests/audit/corpus/``.
@@ -289,14 +294,22 @@ def cmd_store(args) -> int:
 
     store = ResultStore(args.dir)
     if args.store_command == "verify":
-        report = store.verify()
+        report = store.verify(quarantine=getattr(args, "quarantine", False))
+        quarantined = set(report.quarantined)
         for problem in report.problems:
             obs_log.console(f"CORRUPT {problem.path}: {problem.reason}")
+        for moved in report.quarantined:
+            obs_log.console(f"QUARANTINED -> {moved}")
         obs_log.console(
             f"store verify: {report.ok}/{report.scanned} records ok, "
             f"{len(report.problems)} problem(s) at {store.root}"
+            + (f", {len(quarantined)} moved to quarantine/" if quarantined else "")
         )
-        return 0 if report.clean else 1
+        # --quarantine heals the store: corrupt records are out of the
+        # serving tree, so a fully-healed scan exits 0.
+        if report.clean or (report.problems and report.healed):
+            return 0
+        return 1
     if args.store_command == "stats":
         info = store.describe()
         obs_log.console(
@@ -481,12 +494,21 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         sp = store_sub.add_parser(name, parents=[obs_parent], help=text)
         sp.add_argument("dir", help="store directory")
+        if name == "verify":
+            sp.add_argument("--quarantine", action="store_true",
+                            help="move corrupt records into <store>/"
+                            "quarantine/ and exit 0 once the store reads "
+                            "clean (the read path recomputes them)")
         if name == "compact":
             sp.add_argument("--max-entries", type=int, default=None,
                             help="records to keep at most (newest first)")
             sp.add_argument("--max-bytes", type=int, default=None,
                             help="total record bytes to keep at most")
         sp.set_defaults(func=cmd_store)
+
+    from .dse.cli import add_dse_parser
+
+    add_dse_parser(sub, obs_parent)
 
     p = sub.add_parser(
         "fuzz", parents=[obs_parent],

@@ -1,0 +1,202 @@
+"""Deterministic chaos for the sweep engine: ``--inject-faults``.
+
+The campaign spec is a comma list of fault kinds plus options::
+
+    --inject-faults crash,hang,flaky,corrupt-store,rate=0.4,seed=7
+    --inject-faults poison=a64-s16           # deterministic poison tasks
+
+Which task is faulted, and how, is a pure function of ``(seed, task_id)``
+— a SHA-256 coin flip, no RNG state — so a chaos campaign is exactly
+reproducible.  Each transient kind fires **exactly once per task**, keyed
+on persistent queue state rather than in-memory attempt counters (which a
+crash would reset):
+
+- ``crash``         — ``os._exit(137)`` after claiming the lease, only
+  while the lease is at generation 1: the reclaiming survivor (generation
+  2) sails through.  Simulates kill -9 / OOM.
+- ``hang``          — sleep past the lease TTL while holding it (only at
+  generation 1), so a survivor steals the task and the sleeper wakes to
+  find itself fenced — its late completion lands as an idempotent
+  duplicate.  Simulates a wedged worker.
+- ``flaky``         — raise :class:`~repro.errors.TransientFault` on the
+  first recorded attempt; the retry succeeds.
+- ``corrupt-store`` — append a torn garbage line to the task's result
+  shard (what a power cut mid-append leaves) then fail the attempt; the
+  retry appends the clean record and the loader skips the torn line.
+- ``poison=<substr>`` — tasks whose id contains the substring raise
+  :class:`~repro.errors.PermanentFault` on *every* attempt: the
+  deterministic poison pill that must end up quarantined.
+
+Because every fault either self-heals on the next attempt/lease
+generation or deterministically quarantines the same tasks, a chaos run
+converges to the same result set as a fault-free run — which is exactly
+what the byte-identical frontier e2e asserts.
+
+Process-killing kinds (``crash``, ``hang``) are disabled in the
+coordinator process itself (same guard as the supervisor's fault plan):
+chaos aims at workers; the coordinator's own death is covered by
+``--resume``, which the e2e exercises with a real ``kill -9``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ConfigError, PermanentFault, TransientFault
+from ..obs import log as obs_log
+from ..resilience.atomic import crash_safe_append
+
+__all__ = ["KINDS", "ChaosPlan"]
+
+KINDS = ("crash", "hang", "flaky", "corrupt-store")
+
+#: Default fraction of tasks that draw a fault.
+DEFAULT_RATE = 0.35
+
+
+def _digest_floats(seed: int, task_id: str) -> Tuple[float, int]:
+    """``(uniform draw in [0,1), kind selector)`` for one task — stable."""
+    digest = hashlib.sha256(f"{seed}:{task_id}".encode("utf-8")).digest()
+    draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    selector = int.from_bytes(digest[8:12], "big")
+    return draw, selector
+
+
+@dataclasses.dataclass(frozen=True)
+class ChaosPlan:
+    """A parsed ``--inject-faults`` campaign (see module docstring)."""
+
+    kinds: Tuple[str, ...] = ()
+    rate: float = DEFAULT_RATE
+    seed: int = 0
+    poison: Optional[str] = None
+    hang_s: float = 5.0
+    coordinator_pid: int = -1
+
+    @classmethod
+    def parse(cls, spec: str) -> "ChaosPlan":
+        kinds = []
+        rate = DEFAULT_RATE
+        seed = 0
+        poison = None
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, sep, value = token.partition("=")
+            if not sep:
+                if token not in KINDS:
+                    raise ConfigError(
+                        f"unknown fault kind {token!r} "
+                        f"(expected one of {', '.join(KINDS)})",
+                        field="inject_faults", value=spec,
+                    )
+                if token not in kinds:
+                    kinds.append(token)
+            elif key == "rate":
+                try:
+                    rate = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        "rate must be a float", field="inject_faults",
+                        value=spec,
+                    ) from None
+                if not 0.0 <= rate <= 1.0:
+                    raise ConfigError(
+                        "rate must be in [0, 1]", field="inject_faults",
+                        value=spec,
+                    )
+            elif key == "seed":
+                try:
+                    seed = int(value)
+                except ValueError:
+                    raise ConfigError(
+                        "seed must be an integer", field="inject_faults",
+                        value=spec,
+                    ) from None
+            elif key == "poison":
+                poison = value
+            else:
+                raise ConfigError(
+                    f"unknown fault option {key!r}",
+                    field="inject_faults", value=spec,
+                )
+        if not kinds and poison is None:
+            raise ConfigError(
+                "fault spec names no fault kinds",
+                field="inject_faults", value=spec,
+            )
+        return cls(kinds=tuple(kinds), rate=rate, seed=seed, poison=poison)
+
+    # --------------------------------------------------------- serialization
+    def to_doc(self) -> Dict[str, Any]:
+        return {
+            "kinds": list(self.kinds),
+            "rate": self.rate,
+            "seed": self.seed,
+            "poison": self.poison,
+            "hang_s": self.hang_s,
+            "coordinator_pid": self.coordinator_pid,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Any]) -> "ChaosPlan":
+        return cls(
+            kinds=tuple(doc.get("kinds", ())),
+            rate=float(doc.get("rate", DEFAULT_RATE)),
+            seed=int(doc.get("seed", 0)),
+            poison=doc.get("poison"),
+            hang_s=float(doc.get("hang_s", 5.0)),
+            coordinator_pid=int(doc.get("coordinator_pid", -1)),
+        )
+
+    # -------------------------------------------------------------- decision
+    def fault_for(self, task_id: str) -> Optional[str]:
+        """The fault kind this task draws, or None — pure and stable."""
+        if not self.kinds:
+            return None
+        draw, selector = _digest_floats(self.seed, task_id)
+        if draw >= self.rate:
+            return None
+        return self.kinds[selector % len(self.kinds)]
+
+    def apply(self, queue, task_id: str, attempt: int, generation: int) -> None:
+        """Fire this task's fault if its once-only condition holds.
+
+        Called by the worker after claiming the lease, before evaluating.
+        ``attempt`` counts *recorded* failures + 1; ``generation`` is the
+        lease's ownership-transfer count.
+        """
+        if self.poison is not None and self.poison in task_id:
+            raise PermanentFault(
+                f"injected poison fault for task {task_id!r}"
+            )
+        kind = self.fault_for(task_id)
+        if kind is None:
+            return
+        in_coordinator = os.getpid() == self.coordinator_pid
+        if kind == "crash" and generation <= 1 and not in_coordinator:
+            obs_log.warning("dse.chaos.crash", task=task_id)
+            os._exit(137)
+        if kind == "hang" and generation <= 1 and not in_coordinator:
+            obs_log.warning("dse.chaos.hang", task=task_id, sleep_s=self.hang_s)
+            time.sleep(self.hang_s)
+            return  # wake up fenced; the late result is a benign duplicate
+        if kind == "flaky" and attempt <= 1:
+            raise TransientFault(f"injected flaky fault for task {task_id!r}")
+        if kind == "corrupt-store" and attempt <= 1:
+            # What a power cut mid-append leaves behind: a torn, non-JSON
+            # tail line.  The loader must skip it and the retry must append
+            # the clean record after it.
+            crash_safe_append(
+                queue.shard_path(task_id),
+                '{"schema": 1, "task_id": "' + task_id + '", "resu',
+                fsync=True,
+            )
+            raise TransientFault(
+                f"injected corrupt-store fault for task {task_id!r}"
+            )

@@ -1,0 +1,235 @@
+"""The design space: axes, points, feasibility, and adaptive refinement.
+
+A :class:`DesignPoint` fixes five knobs of the accelerator (Fig 16's two
+axes plus the three the paper's closing remarks point at):
+
+- ``array``       — systolic array size (square, vector memories track rows);
+- ``sram_mb``     — unified on-chip SRAM capacity in MiB;
+- ``word_elems``  — vector-memory word width in elements (Fig 16b's axis);
+- ``hbm_gbps``    — HBM peak bandwidth;
+- ``mxu``         — systolic arrays sharing the vector memories (the
+  TPU-v3 move; feasible only while ``2*mxu/word_elems <= 1``).
+
+A :class:`DesignSpace` holds the *allowed values* per axis as sorted
+tuples; every point is an index vector into those tuples, which is what
+makes **adaptive refinement** well-defined: given the current Pareto
+frontier, :meth:`DesignSpace.refine` proposes (a) the component-wise index
+midpoint of each cost-adjacent frontier pair and (b) the ±1 axis
+neighbours of every frontier point — bisecting toward the frontier instead
+of pricing the dense grid.  Everything is deterministic: candidate order
+is sorted by ``point_id``, infeasible and already-seen points are dropped,
+and no randomness enters, so a sharded chaotic sweep plans exactly the
+rounds a serial fault-free sweep plans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+
+__all__ = ["DesignPoint", "DesignSpace", "PRESETS", "SPACE_SCHEMA"]
+
+SPACE_SCHEMA = 1
+
+AXES = ("array", "sram_mb", "word_elems", "hbm_gbps", "mxu")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class DesignPoint:
+    """One accelerator configuration under study."""
+
+    array: int
+    sram_mb: int
+    word_elems: int
+    hbm_gbps: int
+    mxu: int
+
+    @property
+    def point_id(self) -> str:
+        """Stable, filesystem-safe identity, e.g. ``a128-s32-w8-h700-x1``."""
+        return (
+            f"a{self.array}-s{self.sram_mb}-w{self.word_elems}"
+            f"-h{self.hbm_gbps}-x{self.mxu}"
+        )
+
+    def feasible(self) -> bool:
+        """Port budget + geometry sanity (infeasible points are never
+        scheduled — they are excluded at planning time, not quarantined)."""
+        if self.mxu < 1:
+            return False
+        if 2 * self.mxu / self.word_elems > 1.0 and self.mxu > 1:
+            return False  # vector-memory ports cannot feed that many arrays
+        # Each vector memory must hold at least one word.
+        per_memory = self.sram_mb * 1024 * 1024 // self.array
+        return per_memory >= self.word_elems * 4
+
+    def to_config(self):
+        """The :class:`~repro.systolic.config.TPUConfig` this point names."""
+        import dataclasses as dc
+
+        from ..systolic.config import TPU_V2
+
+        config = TPU_V2.with_array(self.array).with_word_elems(self.word_elems)
+        return dc.replace(
+            config,
+            unified_sram_bytes=self.sram_mb * 1024 * 1024,
+            hbm=dc.replace(
+                config.hbm, peak_bandwidth_gbps=float(self.hbm_gbps)
+            ),
+        )
+
+    def to_doc(self) -> Dict[str, int]:
+        return {axis: getattr(self, axis) for axis in AXES}
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, int]) -> "DesignPoint":
+        return cls(**{axis: int(doc[axis]) for axis in AXES})
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignSpace:
+    """Sorted allowed values per axis; points are index vectors into them."""
+
+    array: Tuple[int, ...]
+    sram_mb: Tuple[int, ...]
+    word_elems: Tuple[int, ...]
+    hbm_gbps: Tuple[int, ...]
+    mxu: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for axis in AXES:
+            values = getattr(self, axis)
+            if not values:
+                raise ConfigError(
+                    "design-space axis needs at least one value",
+                    field=axis, value=values,
+                )
+            if list(values) != sorted(set(values)):
+                raise ConfigError(
+                    "axis values must be strictly increasing",
+                    field=axis, value=values,
+                )
+            if any(v <= 0 for v in values):
+                raise ConfigError(
+                    "axis values must be positive", field=axis, value=values
+                )
+
+    # ------------------------------------------------------------ identity
+    def to_doc(self) -> Dict[str, List[int]]:
+        return {axis: list(getattr(self, axis)) for axis in AXES}
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, Sequence[int]]) -> "DesignSpace":
+        return cls(**{axis: tuple(int(v) for v in doc[axis]) for axis in AXES})
+
+    # -------------------------------------------------------------- points
+    def axis_values(self, axis: str) -> Tuple[int, ...]:
+        return getattr(self, axis)
+
+    def indices_of(self, point: DesignPoint) -> Optional[Tuple[int, ...]]:
+        """The index vector of ``point``, or None if off-grid."""
+        indices = []
+        for axis in AXES:
+            values = self.axis_values(axis)
+            value = getattr(point, axis)
+            if value not in values:
+                return None
+            indices.append(values.index(value))
+        return tuple(indices)
+
+    def point_at(self, indices: Sequence[int]) -> DesignPoint:
+        return DesignPoint(
+            **{
+                axis: self.axis_values(axis)[index]
+                for axis, index in zip(AXES, indices)
+            }
+        )
+
+    def seed_points(self) -> List[DesignPoint]:
+        """Round 0: the coarse corner grid — first/mid/last index of every
+        axis (deduplicated for short axes), filtered to feasible points."""
+        corner_indices = []
+        for axis in AXES:
+            n = len(self.axis_values(axis))
+            corner_indices.append(sorted({0, (n - 1) // 2, n - 1}))
+        points = {
+            self.point_at(indices)
+            for indices in itertools.product(*corner_indices)
+        }
+        return sorted(
+            (p for p in points if p.feasible()), key=lambda p: p.point_id
+        )
+
+    # ---------------------------------------------------------- refinement
+    def refine(
+        self,
+        frontier: Sequence[DesignPoint],
+        seen: Iterable[DesignPoint],
+    ) -> List[DesignPoint]:
+        """Bisect toward the frontier: the next round's candidate points.
+
+        ``frontier`` must be ordered (the engine passes it cost-ascending);
+        candidates are (a) component-wise index midpoints of adjacent
+        frontier pairs and (b) ±1 axis neighbours of each frontier point —
+        the local moves that can reveal a dominating configuration between
+        or beside the current optima.  Deterministic: output is sorted by
+        ``point_id`` and excludes infeasible, off-grid and ``seen`` points.
+        """
+        seen_set = set(seen)
+        candidates = set()
+
+        frontier_indices = [
+            indices
+            for indices in (self.indices_of(p) for p in frontier)
+            if indices is not None
+        ]
+        for left, right in zip(frontier_indices, frontier_indices[1:]):
+            if left == right:
+                continue
+            mid = tuple((a + b) // 2 for a, b in zip(left, right))
+            candidates.add(mid)
+        for indices in frontier_indices:
+            for axis_pos, axis in enumerate(AXES):
+                for step in (-1, 1):
+                    neighbour = indices[axis_pos] + step
+                    if 0 <= neighbour < len(self.axis_values(axis)):
+                        moved = list(indices)
+                        moved[axis_pos] = neighbour
+                        candidates.add(tuple(moved))
+
+        fresh = {
+            point
+            for point in (self.point_at(indices) for indices in candidates)
+            if point.feasible() and point not in seen_set
+        }
+        return sorted(fresh, key=lambda p: p.point_id)
+
+
+#: Named spaces: ``paper`` spans the Fig 16 axes at production scale,
+#: ``smoke`` is the CI-sized space the chaos e2e and `make dse-smoke` use.
+PRESETS: Dict[str, DesignSpace] = {
+    "paper": DesignSpace(
+        array=(32, 64, 128, 256, 512),
+        sram_mb=(8, 16, 32, 64, 128),
+        word_elems=(2, 4, 8, 16, 32),
+        hbm_gbps=(100, 200, 400, 700, 1000, 1400),
+        mxu=(1, 2),
+    ),
+    "quick": DesignSpace(
+        array=(64, 128, 256),
+        sram_mb=(16, 32, 64),
+        word_elems=(4, 8, 16),
+        hbm_gbps=(200, 700, 1400),
+        mxu=(1, 2),
+    ),
+    "smoke": DesignSpace(
+        array=(64, 128),
+        sram_mb=(16, 32),
+        word_elems=(8,),
+        hbm_gbps=(400, 700),
+        mxu=(1,),
+    ),
+}

@@ -11,6 +11,12 @@ Two studies the paper's Fig 16 analysis points at but does not run:
    ``2*arrays/word <= 1`` port budget) and simulate the dual-MXU core:
    compute-bound layers scale ~2x on the same memories; memory-bound ones
    do not, explaining why TPU-v3 also raised HBM bandwidth.
+
+For *at-scale* exploration — the full array x SRAM x word x HBM x MXU
+cross-product over the workload zoo, with adaptive Pareto refinement,
+sharded lease-based workers and crash-safe resume — use ``python -m repro
+dse sweep`` (:mod:`repro.dse`), which supersedes this fixed-grid
+experiment; these two tables remain the paper-sized reference studies.
 """
 
 from __future__ import annotations

@@ -42,7 +42,10 @@ seeded exponential backoff, crashed pools are respawned (degrading to
 serial execution if they keep dying), and ``--inject-faults SPEC``
 deterministically manufactures crashes/hangs/flaky failures plus DRAM/
 SRAM misbehaviour so every recovery path is testable.  ``Ctrl-C``
-cancels pending work, flushes the journal and exits 130.
+cancels pending work, flushes the journal and exits 130; ``SIGTERM``
+(what init systems, container runtimes and batch schedulers send) takes
+the same graceful path — journal flushed, resume hint printed — and
+exits 143.
 """
 
 from __future__ import annotations
@@ -50,6 +53,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import os
+import signal
 import sys
 import time
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
@@ -612,6 +616,26 @@ def harness_metrics(
     return registry
 
 
+class _Terminated(KeyboardInterrupt):
+    """SIGTERM, routed down the Ctrl-C path.
+
+    Subclassing :class:`KeyboardInterrupt` means every cancellation point
+    the interrupt path already has — pool teardown, journal flush, the
+    resume hint — handles SIGTERM identically; only the exit code (143,
+    the shell convention for death-by-SIGTERM) differs.
+    """
+
+
+def _install_sigterm_handler() -> None:
+    def _on_sigterm(signum, frame):
+        raise _Terminated()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread (embedded use); SIGTERM stays default
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("experiments", nargs="*", help="experiment ids (default: all)")
@@ -634,7 +658,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="back the simulation cache with a persistent on-disk result "
         "store at DIR (content-addressed, shared across processes and "
-        "runs; see repro.store)",
+        "runs; see repro.store). When REPRO_STORE_DIR is also set, the "
+        "two must name the same directory — a conflict is a config error",
     )
     parser.add_argument(
         "--trace",
@@ -758,10 +783,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"unknown experiment {eid!r}; known: {sorted(EXPERIMENTS)}"
             )
     tracing = args.trace is not None
+    _install_sigterm_handler()
     if args.store:
         # Export before any worker spawns; _run_with_telemetry attaches in
         # whichever process it runs in (parent and every pool worker).
-        os.environ["REPRO_STORE_DIR"] = os.path.abspath(args.store)
+        # --store and an inherited REPRO_STORE_DIR must agree: silently
+        # preferring one would leave a store that never sees results.
+        from ..errors import ConfigError
+        from ..store import resolve_store_dir
+
+        try:
+            store_dir = resolve_store_dir(args.store)
+        except ConfigError as err:
+            print(f"error: {err}", file=sys.stderr)
+            return 2
+        os.environ["REPRO_STORE_DIR"] = store_dir
     resilient = (
         args.checkpoint
         or args.resume is not None
@@ -868,17 +904,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                     profiling=args.profile,
                     audit_level=args.audit,
                 )
-        except KeyboardInterrupt:
-            exit_code = 130
-            obs_log.error("run.interrupted")
+        except KeyboardInterrupt as interrupt:
+            terminated = isinstance(interrupt, _Terminated)
+            exit_code = 143 if terminated else 130
+            word = "terminated" if terminated else "interrupted"
+            obs_log.error("run.terminated" if terminated else "run.interrupted")
             if args.checkpoint or args.resume is not None:
                 print(
-                    f"interrupted: completed work is journaled; "
+                    f"{word}: completed work is journaled; "
                     f"rerun with --resume {run_id}",
                     file=sys.stderr,
                 )
             else:
-                print("interrupted", file=sys.stderr)
+                print(word, file=sys.stderr)
         except Exception as err:  # an experiment raised: fail the run loudly
             failures += 1
             if isinstance(err, AuditFault):

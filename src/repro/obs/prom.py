@@ -53,6 +53,13 @@ HELP_TEXT: Dict[str, str] = {
     "repro_serve_batch_seconds": "Engine wall time per served batch.",
     "repro_serve_pending": "Queries currently in flight in the serve daemon.",
     "repro_serve_draining": "1 while the serve daemon is draining for shutdown.",
+    "repro_dse_tasks_total": "Design-space sweep tasks enqueued (point x workload).",
+    "repro_dse_results_total": "Design-space sweep tasks with a journaled result.",
+    "repro_dse_failures_total": "Failed sweep task attempts journaled (pre-quarantine).",
+    "repro_dse_quarantined_total": "Sweep tasks parked as poison in quarantine.jsonl.",
+    "repro_dse_points_seen": "Design points planned across all refinement rounds.",
+    "repro_dse_frontier_size": "Points on the final Pareto frontier.",
+    "repro_dse_rounds": "Refinement rounds the sweep was configured for.",
 }
 
 

@@ -15,7 +15,13 @@ Four pieces, designed so a hung worker, an OOM'd process or a mid-run
 - :mod:`repro.resilience.faults` — deterministic, seeded fault injection
   (``--inject-faults``) spanning worker crashes/hangs, transient and
   permanent exceptions, DRAM response drops, SRAM latency/capacity flips
-  and checkpoint-record corruption, so CI proves every recovery path.
+  and checkpoint-record corruption, so CI proves every recovery path;
+- :mod:`repro.resilience.lease` — fsync'd lease files with expiry,
+  generation fencing and steal-on-expiry, the ownership primitive behind
+  the :mod:`repro.dse` sharded work queue;
+- :mod:`repro.resilience.quarantine` — the replayable poison-task journal
+  (park a config that keeps crashing/AuditFaulting instead of retrying it
+  forever or failing the sweep).
 
 The fault taxonomy itself (:class:`~repro.errors.TransientFault`,
 :class:`~repro.errors.PermanentFault`, :class:`~repro.errors.AuditFault`,
@@ -37,6 +43,7 @@ from ..errors import (
 )
 from .atomic import atomic_write_bytes, atomic_write_text, crash_safe_append
 from .faults import FaultPlan, activate, deactivate, get_active
+from .lease import LeaseRecord, read_lease, release, renew, try_acquire
 
 __all__ = [
     "ReproError",
@@ -53,10 +60,17 @@ __all__ = [
     "activate",
     "deactivate",
     "get_active",
+    "LeaseRecord",
+    "read_lease",
+    "try_acquire",
+    "renew",
+    "release",
     # Imported lazily to keep the memory substrates' fault hooks cheap and
-    # cycle-free: repro.resilience.checkpoint / repro.resilience.supervisor.
+    # cycle-free: repro.resilience.checkpoint / repro.resilience.supervisor /
+    # repro.resilience.quarantine (which pulls in the obs layer).
     "checkpoint",
     "supervisor",
+    "quarantine",
 ]
 
 
@@ -64,7 +78,7 @@ def __getattr__(name: str):
     # Lazy submodule access: `repro.resilience.checkpoint` pulls in the
     # harness/report layer, which must not load just because a memory
     # model touched the fault hooks.
-    if name in ("checkpoint", "supervisor"):
+    if name in ("checkpoint", "supervisor", "quarantine"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)

@@ -46,6 +46,7 @@ __all__ = [
     "attach_from_env",
     "attached",
     "detach",
+    "resolve_store_dir",
 ]
 
 #: Environment variable naming the store directory.  Set by ``repro run
@@ -84,6 +85,36 @@ def detach() -> Optional[ResultStore]:
     store = SIM_CACHE.backing
     SIM_CACHE.backing = None
     return store
+
+
+def resolve_store_dir(flag_value: Optional[str]) -> Optional[str]:
+    """Resolve a ``--store`` flag against :data:`ENV_VAR`, strictly.
+
+    Precedence: when only one of the two is set, it wins; when **both**
+    are set they must name the same directory (compared as absolute
+    paths) — conflicting values raise
+    :class:`~repro.errors.ConfigError` instead of silently preferring one
+    tier, because the loser would be a store that quietly never receives
+    (or serves) results.  Returns the absolute directory, or None when
+    neither source names one.
+    """
+    env_value = os.environ.get(ENV_VAR, "").strip()
+    if flag_value:
+        flag_abs = os.path.abspath(flag_value)
+        if env_value and os.path.abspath(env_value) != flag_abs:
+            from ..errors import ConfigError
+
+            raise ConfigError(
+                f"--store {flag_value!r} conflicts with {ENV_VAR}="
+                f"{env_value!r}; they must name the same directory "
+                "(unset one, or make them agree)",
+                field="store",
+                value=flag_value,
+            )
+        return flag_abs
+    if env_value:
+        return os.path.abspath(env_value)
+    return None
 
 
 def attach_from_env() -> Optional[ResultStore]:

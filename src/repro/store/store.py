@@ -108,10 +108,17 @@ class VerifyReport:
     scanned: int = 0
     ok: int = 0
     problems: List[RecordProblem] = dataclasses.field(default_factory=list)
+    quarantined: List[str] = dataclasses.field(default_factory=list)
 
     @property
     def clean(self) -> bool:
         return not self.problems
+
+    @property
+    def healed(self) -> bool:
+        """True when every problem record was moved out of the serving
+        tree (``verify(quarantine=True)``) — the store reads clean now."""
+        return len(self.quarantined) == len(self.problems)
 
 
 @dataclasses.dataclass
@@ -294,16 +301,34 @@ class ResultStore:
         return True
 
     # ----------------------------------------------------------- integrity
-    def verify(self) -> VerifyReport:
-        """Full integrity scan: every record, every check the read path runs."""
+    def verify(self, quarantine: bool = False) -> VerifyReport:
+        """Full integrity scan: every record, every check the read path runs.
+
+        With ``quarantine=True`` each corrupt record is *healed out* of the
+        serving tree — moved (same-filesystem rename) into
+        ``<root>/quarantine/`` with its shard prefix flattened into the
+        name, so the evidence survives for post-mortems while the store
+        itself reads clean again (the read path already treats a missing
+        record as a miss and recomputes).
+        """
         report = VerifyReport()
         for path in self.record_paths():
             report.scanned += 1
             _, problem = self._read_record(path)
             if problem is None:
                 report.ok += 1
-            else:
-                report.problems.append(RecordProblem(path=str(path), reason=problem))
+                continue
+            report.problems.append(RecordProblem(path=str(path), reason=problem))
+            if not quarantine:
+                continue
+            quarantine_dir = self.root / "quarantine"
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            target = quarantine_dir / f"{path.parent.name}-{path.name}"
+            try:
+                os.replace(path, target)
+            except OSError:
+                continue  # leave it counted as an unhealed problem
+            report.quarantined.append(str(target))
         return report
 
     def compact(

@@ -1,0 +1,125 @@
+"""Chaos-plan unit tests: parsing, determinism, once-only firing."""
+
+import os
+import time
+
+import pytest
+
+from repro.dse.chaos import KINDS, ChaosPlan
+from repro.dse.queue import WorkQueue
+from repro.errors import ConfigError, PermanentFault, TransientFault
+
+TID = "a64-s16-w8-h400-x1/AlexNet@4"
+
+
+def _queue(tmp_path):
+    queue = WorkQueue(tmp_path / "sweep")
+    queue.ensure_dirs()
+    return queue
+
+
+# ----------------------------------------------------------------- parsing
+def test_parse_full_spec():
+    plan = ChaosPlan.parse("crash,hang,flaky,corrupt-store,rate=0.4,seed=7")
+    assert plan.kinds == KINDS
+    assert plan.rate == 0.4 and plan.seed == 7 and plan.poison is None
+
+
+def test_parse_poison_only_spec():
+    plan = ChaosPlan.parse("poison=a64-s16")
+    assert plan.kinds == () and plan.poison == "a64-s16"
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "explode",            # unknown kind
+        "crash,jitter=3",     # unknown option
+        "crash,rate=lots",    # non-float rate
+        "crash,rate=1.5",     # rate out of range
+        "crash,seed=pi",      # non-integer seed
+        "rate=0.5",           # no kinds and no poison
+        "",                   # empty spec
+    ],
+)
+def test_parse_rejects_bad_specs(spec):
+    with pytest.raises(ConfigError):
+        ChaosPlan.parse(spec)
+
+
+def test_doc_roundtrip():
+    plan = ChaosPlan.parse("crash,flaky,rate=0.2,seed=3,poison=x")
+    import dataclasses
+
+    plan = dataclasses.replace(plan, hang_s=2.5, coordinator_pid=1234)
+    assert ChaosPlan.from_doc(plan.to_doc()) == plan
+
+
+# -------------------------------------------------------------- determinism
+def test_fault_for_is_pure_and_rate_bounded():
+    plan = ChaosPlan.parse("crash,hang,flaky,rate=0.5,seed=11")
+    draws = {tid: plan.fault_for(tid) for tid in (f"p{i}/w" for i in range(64))}
+    again = {tid: plan.fault_for(tid) for tid in draws}
+    assert draws == again
+    fired = [kind for kind in draws.values() if kind is not None]
+    assert fired and all(kind in plan.kinds for kind in fired)
+    assert len(fired) < len(draws)  # rate 0.5 must not fault everything
+
+
+def test_rate_zero_never_faults():
+    plan = ChaosPlan.parse("crash,hang,flaky,corrupt-store,rate=0.0")
+    assert all(plan.fault_for(f"p{i}/w") is None for i in range(32))
+
+
+# ------------------------------------------------------------------ firing
+def test_poison_fires_on_every_attempt(tmp_path):
+    plan = ChaosPlan.parse("poison=a64-s16")
+    queue = _queue(tmp_path)
+    for attempt in (1, 2, 5):
+        with pytest.raises(PermanentFault):
+            plan.apply(queue, TID, attempt=attempt, generation=1)
+    # Tasks not matching the substring sail through.
+    plan.apply(queue, "a128-s32-w8-h700-x1/AlexNet@4", attempt=1, generation=1)
+
+
+def test_flaky_fires_only_on_first_recorded_attempt(tmp_path):
+    plan = ChaosPlan.parse("flaky,rate=1.0")
+    queue = _queue(tmp_path)
+    with pytest.raises(TransientFault):
+        plan.apply(queue, TID, attempt=1, generation=1)
+    plan.apply(queue, TID, attempt=2, generation=1)  # retry sails through
+
+
+def test_corrupt_store_tears_the_shard_then_heals(tmp_path):
+    plan = ChaosPlan.parse("corrupt-store,rate=1.0")
+    queue = _queue(tmp_path)
+    with pytest.raises(TransientFault):
+        plan.apply(queue, TID, attempt=1, generation=1)
+    shard = queue.shard_path(TID)
+    assert shard.exists() and TID in shard.read_text()
+    assert queue.load_results() == {}  # the torn line is skipped, not served
+    queue.complete(TID, {"cycles": 1.0})  # the retry appends the clean record
+    assert queue.load_results()[TID] == {"cycles": 1.0}
+    plan.apply(queue, TID, attempt=2, generation=1)  # once only
+
+
+def test_process_killing_kinds_disabled_in_coordinator(tmp_path):
+    import dataclasses
+
+    plan = dataclasses.replace(
+        ChaosPlan.parse("crash,rate=1.0"), coordinator_pid=os.getpid()
+    )
+    assert plan.fault_for(TID) == "crash"
+    # If the guard failed this would os._exit(137) the test process.
+    plan.apply(_queue(tmp_path), TID, attempt=1, generation=1)
+
+
+def test_hang_is_fenced_past_generation_one(tmp_path):
+    import dataclasses
+
+    plan = dataclasses.replace(ChaosPlan.parse("hang,rate=1.0"), hang_s=60.0)
+    started = time.monotonic()
+    # Generation 2 means the lease was already stolen once: the hang fired
+    # for the dead owner and must not fire again for the survivor.
+    plan.apply(_queue(tmp_path), TID, attempt=1, generation=2)
+    assert time.monotonic() - started < 5.0

@@ -1,0 +1,97 @@
+"""The acceptance e2e: sharded chaos sweep + kill -9 + resume, byte-compare.
+
+Drives ``python -m repro dse sweep`` as a real subprocess (its own session,
+real worker pool, real signals): a fault-free serial reference, then a
+``--jobs`` sweep under the full chaos campaign that gets SIGKILLed
+mid-flight and resumed — the resumed frontier must be byte-identical to
+the reference.  ``tools/dse_smoke.py`` runs the same scenario at --jobs 4
+as a make target; this pytest variant keeps CI's failure reporting.
+"""
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+SWEEP_ARGS = [
+    "--preset", "smoke",
+    "--workloads", "AlexNet@4",
+    "--quick",
+    "--rounds", "2",
+]
+CHAOS = "crash,hang,flaky,corrupt-store,rate=0.5,seed=7"
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _dse(argv, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "dse", *argv],
+        cwd=REPO, env=_env(), capture_output=True, text=True,
+        timeout=600, **kwargs,
+    )
+
+
+def _result_count(out: pathlib.Path) -> int:
+    count = 0
+    for shard in (out / "results").glob("shard-*.jsonl"):
+        count += sum(1 for line in shard.read_text().splitlines() if line)
+    return count
+
+
+def test_chaos_kill9_resume_is_byte_identical(tmp_path):
+    serial_out = tmp_path / "serial"
+    chaos_out = tmp_path / "chaos"
+
+    reference = _dse(["sweep", "--out", str(serial_out), *SWEEP_ARGS])
+    assert reference.returncode == 0, reference.stderr[-800:]
+    reference_bytes = (serial_out / "frontier.json").read_bytes()
+
+    # Sharded chaos sweep in its own session; SIGKILL the whole process
+    # group (coordinator + workers) once durable results exist.
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "dse", "sweep",
+         "--out", str(chaos_out), *SWEEP_ARGS,
+         "--jobs", "2", "--lease-s", "2", "--inject-faults", CHAOS],
+        cwd=REPO, env=_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        start_new_session=True,
+    )
+    try:
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if _result_count(chaos_out) >= 2 or proc.poll() is not None:
+                break
+            time.sleep(0.1)
+        else:
+            raise AssertionError("chaos sweep produced no results in 120s")
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+
+    resumed = _dse(
+        ["sweep", "--out", str(chaos_out), *SWEEP_ARGS,
+         "--jobs", "2", "--lease-s", "2", "--inject-faults", CHAOS,
+         "--resume"]
+    )
+    assert resumed.returncode == 0, resumed.stderr[-800:]
+    assert (chaos_out / "frontier.json").read_bytes() == reference_bytes
+
+    # The campaign must have engaged: injected failures were recorded and
+    # healed, and the status CLI reads the directory clean.
+    failures_path = chaos_out / "failures.jsonl"
+    assert failures_path.exists() and failures_path.read_text().strip()
+    status = _dse(["status", "--out", str(chaos_out), "--json"])
+    assert status.returncode == 0, status.stderr[-400:]
+    doc = json.loads(status.stdout)
+    assert doc["pending"] == 0 and doc["quarantined"] == []

@@ -1,0 +1,123 @@
+"""Design-space unit tests: identity, feasibility, deterministic planning.
+
+Determinism here is load-bearing for the whole sweep engine: the chaos
+e2e's byte-identical frontier only holds if ``seed_points`` and ``refine``
+are pure sorted functions of their inputs.
+"""
+
+import pytest
+
+from repro.dse.space import AXES, PRESETS, DesignPoint, DesignSpace
+from repro.errors import ConfigError
+
+SPACE = DesignSpace(
+    array=(64, 128, 256),
+    sram_mb=(16, 32, 64),
+    word_elems=(4, 8, 16),
+    hbm_gbps=(200, 700, 1400),
+    mxu=(1, 2),
+)
+
+
+def _point(**overrides):
+    base = dict(array=128, sram_mb=32, word_elems=8, hbm_gbps=700, mxu=1)
+    base.update(overrides)
+    return DesignPoint(**base)
+
+
+# ---------------------------------------------------------------- identity
+def test_point_id_is_stable_and_filesystem_safe():
+    assert _point().point_id == "a128-s32-w8-h700-x1"
+    assert "/" not in _point().point_id
+
+
+def test_point_doc_roundtrip():
+    point = _point(mxu=2, word_elems=16)
+    assert DesignPoint.from_doc(point.to_doc()) == point
+
+
+def test_space_doc_roundtrip():
+    assert DesignSpace.from_doc(SPACE.to_doc()) == SPACE
+
+
+# ------------------------------------------------------------- feasibility
+def test_port_budget_rejects_overcommitted_arrays():
+    # 2 arrays at word 2 demand 2x the vector-memory port: infeasible.
+    assert not _point(mxu=2, word_elems=2).feasible()
+    # 2 arrays at word 4 exactly fill the port: feasible.
+    assert _point(mxu=2, word_elems=4).feasible()
+    assert _point(mxu=2, word_elems=8).feasible()
+
+
+def test_zero_arrays_is_infeasible():
+    assert not _point(mxu=0).feasible()
+
+
+def test_vector_memory_must_hold_one_word():
+    # 1 MiB spread over 2^20 rows leaves 1 byte per memory — under any word.
+    assert not _point(array=1 << 20, sram_mb=1).feasible()
+
+
+# ------------------------------------------------------------- validation
+@pytest.mark.parametrize(
+    "values", [(), (64, 32), (64, 64, 128), (0, 64), (-1, 64)]
+)
+def test_space_rejects_bad_axis_values(values):
+    with pytest.raises(ConfigError):
+        DesignSpace(
+            array=values, sram_mb=(32,), word_elems=(8,),
+            hbm_gbps=(700,), mxu=(1,),
+        )
+
+
+def test_presets_exist_and_validate():
+    assert set(PRESETS) >= {"paper", "quick", "smoke"}
+    for space in PRESETS.values():
+        assert space.seed_points()  # every preset plans a non-empty round 0
+
+
+# ---------------------------------------------------------------- planning
+def test_seed_points_deterministic_sorted_feasible():
+    first = SPACE.seed_points()
+    second = SPACE.seed_points()
+    assert first == second
+    assert [p.point_id for p in first] == sorted(p.point_id for p in first)
+    assert all(p.feasible() for p in first)
+    assert all(SPACE.indices_of(p) is not None for p in first)
+
+
+def test_refine_is_deterministic_and_excludes_seen():
+    frontier = SPACE.seed_points()[:3]
+    seen = SPACE.seed_points()
+    first = SPACE.refine(frontier, seen)
+    second = SPACE.refine(frontier, seen)
+    assert first == second
+    assert not set(first) & set(seen)
+    assert all(p.feasible() for p in first)
+    assert [p.point_id for p in first] == sorted(p.point_id for p in first)
+
+
+def test_refine_proposes_axis_neighbours():
+    # A single mid-grid frontier point has no pair midpoints; candidates
+    # are exactly its +-1 axis moves (minus infeasible ones).
+    centre = SPACE.point_at((1, 1, 1, 1, 0))
+    candidates = SPACE.refine([centre], [centre])
+    indices = {SPACE.indices_of(p) for p in candidates}
+    centre_idx = SPACE.indices_of(centre)
+    for found in indices:
+        distance = sum(abs(a - b) for a, b in zip(found, centre_idx))
+        assert distance == 1
+
+
+def test_refine_proposes_midpoints_between_frontier_pairs():
+    low = SPACE.point_at((0, 0, 1, 0, 0))
+    high = SPACE.point_at((2, 2, 1, 2, 0))
+    mid = SPACE.point_at((1, 1, 1, 1, 0))
+    candidates = SPACE.refine([low, high], [low, high])
+    assert mid in candidates
+
+
+def test_refine_ignores_off_grid_frontier_points():
+    off_grid = _point(array=96)  # 96 is not an allowed array value
+    assert SPACE.indices_of(off_grid) is None
+    assert SPACE.refine([off_grid], []) == []

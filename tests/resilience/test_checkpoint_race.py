@@ -1,0 +1,86 @@
+"""Checkpoint journal under writer races: duplicates, interleaving, stale
+records.
+
+A lease steal (or a hung worker waking up fenced) means two writers can
+journal the *same* experiment — possibly interleaved with each other's
+other records, possibly with a stale earlier record landing before a
+fresher one.  The journal contract that makes this benign: records are
+appended whole lines, the loader deduplicates by ``(experiment,
+fingerprint)`` with last-write-wins, and reconstruction from the surviving
+record is byte-identical to the original result.
+"""
+
+import json
+
+from repro.harness.report import ExperimentResult, Table
+from repro.resilience.checkpoint import (
+    CheckpointJournal,
+    load_journal,
+    result_from_record,
+    result_to_record,
+)
+
+
+def _result(experiment_id, marker="v1"):
+    result = ExperimentResult(experiment_id, f"Title {experiment_id}")
+    table = result.add_table(Table("cells", ("name", "cycles", "ratio")))
+    table.add_row("layer0", 12345, 0.1 + 0.2)  # a float that must round-trip
+    table.add_row("layer1", None, 1e-17)
+    result.note(f"note {marker}")
+    return result
+
+
+def _record(experiment_id, marker="v1"):
+    return result_to_record(
+        experiment_id, f"fp-{experiment_id}", _result(experiment_id, marker)
+    )
+
+
+def test_interleaved_duplicate_writers_last_write_wins(tmp_path):
+    path = tmp_path / "checkpoint.jsonl"
+    writer_a = CheckpointJournal(path)
+    writer_b = CheckpointJournal(path)
+
+    # Two racing writers: B duplicates A's records, interleaved with its
+    # own, and lands a stale copy of exp2 *before* A's fresh one.
+    writer_a.append(_record("exp1"))
+    writer_b.append(_record("exp1"))          # identical duplicate
+    writer_b.append(_record("exp2", "stale"))
+    writer_a.append(_record("exp3"))
+    writer_a.append(_record("exp2", "fresh"))  # last write for exp2
+
+    records, corrupt = load_journal(path)
+    assert corrupt == 0
+    assert len(records) == 3  # five appends, three keys
+    winner = records[("exp2", "fp-exp2")]
+    assert winner["result"]["notes"] == ["note fresh"]
+
+
+def test_reconstruction_is_byte_identical(tmp_path):
+    path = tmp_path / "checkpoint.jsonl"
+    journal = CheckpointJournal(path)
+    original = _record("exp1")
+    journal.append(original)
+    CheckpointJournal(path).append(original)  # the duplicate from the race
+
+    records, _ = load_journal(path)
+    restored = result_from_record(records[("exp1", "fp-exp1")])
+    # Round-trip the reconstruction through the record encoder: identical
+    # bytes means cells (floats included) survived exactly.
+    assert json.dumps(
+        result_to_record("exp1", "fp-exp1", restored), sort_keys=True
+    ) == json.dumps(original, sort_keys=True)
+    assert restored.tables[0].rows == _result("exp1").tables[0].rows
+
+
+def test_torn_line_between_writers_is_skipped_not_fatal(tmp_path):
+    path = tmp_path / "checkpoint.jsonl"
+    writer_a = CheckpointJournal(path)
+    writer_a.append(_record("exp1"))
+    writer_a.append(_record("exp2"), corrupt=True)  # torn mid-append
+    CheckpointJournal(path).append(_record("exp2"))  # survivor's clean copy
+
+    records, corrupt = load_journal(path)
+    assert corrupt == 1
+    assert set(records) == {("exp1", "fp-exp1"), ("exp2", "fp-exp2")}
+    assert result_from_record(records[("exp2", "fp-exp2")]).notes == ["note v1"]

@@ -1,0 +1,78 @@
+"""SIGTERM handling: the runner treats it as a graceful stop (exit 143).
+
+The orchestrator's stop signal (Kubernetes, systemd, a batch scheduler
+draining a node) must behave exactly like Ctrl-C — checkpoint journal
+flushed, resume hint printed — distinguished only by the exit code:
+143 (128+SIGTERM) instead of 130 (128+SIGINT).
+"""
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _spawn_hung_checkpointed_run(tmp_path, run_id):
+    """A --jobs 2 checkpointed run whose second task hangs forever: once
+    the first experiment is journaled the run is provably mid-flight and
+    stays there until signalled."""
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.harness.runner", "fig2", "table2",
+            "--quick", "--jobs", "2", "--checkpoint", "--run-id", run_id,
+            "--results-dir", str(tmp_path), "--inject-faults", "hang@1",
+        ],
+        cwd=REPO, env=_env(), start_new_session=True,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+    journal = tmp_path / run_id / "checkpoint.jsonl"
+    deadline = time.monotonic() + 300
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"run exited early ({proc.returncode}): {proc.stderr.read()}"
+            )
+        if journal.exists() and journal.read_text().count("\n") >= 1:
+            return proc, journal
+        time.sleep(0.2)
+    raise AssertionError("run never journaled its first experiment")
+
+
+def test_sigterm_flushes_checkpoint_and_exits_143(tmp_path):
+    proc, journal = _spawn_hung_checkpointed_run(tmp_path, "st-term")
+    journaled_before = journal.read_bytes()
+    try:
+        proc.send_signal(signal.SIGTERM)
+        stdout, stderr = proc.communicate(timeout=60)
+    finally:
+        if proc.poll() is None:
+            os.killpg(proc.pid, signal.SIGKILL)
+            proc.communicate(timeout=30)
+
+    assert proc.returncode == 143, f"rc={proc.returncode} stderr={stderr}"
+    assert "terminated" in stderr
+    assert "--resume st-term" in stderr  # the operator's next command
+    # Journaled work survived the termination untouched.
+    assert journal.read_bytes().startswith(journaled_before)
+
+    # And the hint is honest: the resumed run skips the journaled work
+    # and finishes clean.
+    resumed = subprocess.run(
+        [
+            sys.executable, "-m", "repro.harness.runner", "fig2", "table2",
+            "--quick", "--jobs", "2", "--resume", "st-term",
+            "--results-dir", str(tmp_path),
+        ],
+        cwd=REPO, env=_env(), capture_output=True, text=True, timeout=600,
+    )
+    assert resumed.returncode == 0, resumed.stderr[-800:]

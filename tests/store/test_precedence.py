@@ -1,0 +1,83 @@
+"""``--store`` vs ``REPRO_STORE_DIR`` precedence: explicit, never silent.
+
+One of the two set: it wins.  Both set to the same directory: fine.  Both
+set to *different* directories: a ConfigError (CLI exit 2) — the engine
+refuses to guess which store the operator meant.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.store import ENV_VAR, resolve_store_dir
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(autouse=True)
+def no_env_store(monkeypatch):
+    monkeypatch.delenv(ENV_VAR, raising=False)
+
+
+def test_flag_only_wins(tmp_path):
+    assert resolve_store_dir(str(tmp_path)) == str(tmp_path.resolve())
+
+
+def test_env_only_wins(tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_VAR, str(tmp_path))
+    assert resolve_store_dir(None) == str(tmp_path.resolve())
+
+
+def test_neither_is_none():
+    assert resolve_store_dir(None) is None
+
+
+def test_agreement_is_fine_even_with_relative_spelling(tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_VAR, str(tmp_path))
+    monkeypatch.chdir(tmp_path.parent)
+    assert resolve_store_dir(tmp_path.name) == str(tmp_path.resolve())
+
+
+def test_conflict_raises_config_error(tmp_path, monkeypatch):
+    monkeypatch.setenv(ENV_VAR, str(tmp_path / "env-store"))
+    with pytest.raises(ConfigError, match=ENV_VAR):
+        resolve_store_dir(str(tmp_path / "flag-store"))
+
+
+def _run(argv, env_store, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    if env_store:
+        env[ENV_VAR] = env_store
+    else:
+        env.pop(ENV_VAR, None)
+    return subprocess.run(
+        [sys.executable, *argv],
+        cwd=REPO, env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+def test_runner_cli_conflict_exits_2(tmp_path):
+    result = _run(
+        ["-m", "repro.harness.runner", "fig2", "--quick",
+         "--store", str(tmp_path / "flag-store"),
+         "--results-dir", str(tmp_path)],
+        env_store=str(tmp_path / "env-store"), tmp_path=tmp_path,
+    )
+    assert result.returncode == 2, result.stderr[-400:]
+    assert ENV_VAR in result.stderr
+
+
+def test_dse_cli_conflict_exits_2(tmp_path):
+    result = _run(
+        ["-m", "repro", "dse", "sweep", "--out", str(tmp_path / "sweep"),
+         "--preset", "smoke", "--workloads", "AlexNet@4", "--quick",
+         "--rounds", "1", "--store", str(tmp_path / "flag-store")],
+        env_store=str(tmp_path / "env-store"), tmp_path=tmp_path,
+    )
+    assert result.returncode == 2, result.stderr[-400:]
+    assert ENV_VAR in result.stdout + result.stderr

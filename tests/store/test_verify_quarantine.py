@@ -1,0 +1,106 @@
+"""``repro store verify --quarantine``: heal the store, keep the evidence.
+
+Plain ``verify`` reports corruption and exits 1; ``--quarantine`` moves
+every corrupt record out of the serving tree into ``<store>/quarantine/``
+(shard prefix flattened into the name) and exits 0 once the store reads
+clean — the operator's one-command heal for a damaged cache.
+"""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.conv_spec import ConvSpec
+from repro.perf.cache import clear_cache
+from repro.store import ResultStore, attach, detach
+from repro.systolic.simulator import TPUSim
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+SPECS = [
+    ConvSpec(n=1, c_in=8, h_in=7, w_in=7, c_out=8 + 4 * i, h_filter=3,
+             w_filter=3, stride=1, padding=1, name=f"vq{i}")
+    for i in range(3)
+]
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    detach()
+    clear_cache()
+    yield
+    detach()
+    clear_cache()
+
+
+def _populated_store(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    attach(store)
+    sim = TPUSim()
+    for spec in SPECS:
+        sim.simulate_conv(spec)
+    detach()
+    assert store.describe()["entries"] >= len(SPECS)
+    return store
+
+
+def _damage_one(store):
+    path = next(iter(store.record_paths()))
+    path.write_bytes(b"\x00garbage\x00" + path.read_bytes()[:10])
+    return path
+
+
+def test_quarantine_moves_corrupt_records_and_heals(tmp_path):
+    store = _populated_store(tmp_path)
+    damaged = _damage_one(store)
+
+    report = store.verify(quarantine=True)
+    assert not report.clean and report.healed
+    assert len(report.quarantined) == len(report.problems) == 1
+
+    # The record left the serving tree, evidence intact in quarantine/.
+    assert not damaged.exists()
+    moved = pathlib.Path(report.quarantined[0])
+    assert moved.parent == store.root / "quarantine"
+    assert moved.name == f"{damaged.parent.name}-{damaged.name}"
+    assert moved.exists()
+
+    # The store reads clean now; quarantine/ is outside the scan.
+    after = store.verify()
+    assert after.clean and after.scanned == report.scanned - 1
+
+
+def test_without_quarantine_nothing_moves(tmp_path):
+    store = _populated_store(tmp_path)
+    damaged = _damage_one(store)
+    report = store.verify()
+    assert not report.clean and not report.healed
+    assert report.quarantined == [] and damaged.exists()
+
+
+def _cli(argv):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "store", *argv],
+        cwd=REPO, env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+def test_cli_exit_codes_and_heal(tmp_path):
+    store = _populated_store(tmp_path)
+    _damage_one(store)
+
+    plain = _cli(["verify", str(store.root)])
+    assert plain.returncode == 1
+    assert "CORRUPT" in plain.stdout
+
+    healed = _cli(["verify", str(store.root), "--quarantine"])
+    assert healed.returncode == 0, healed.stderr[-400:]
+    assert "QUARANTINED" in healed.stdout
+
+    # Healed: a second plain verify exits 0.
+    assert _cli(["verify", str(store.root)]).returncode == 0
