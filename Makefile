@@ -1,4 +1,4 @@
-.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke audit-smoke fuzz-smoke store-stress serve-smoke report-smoke dse-smoke ci all
+.PHONY: install test test-fast bench bench-figures profile experiments export examples api-doc goldens sentinel bench-history fault-matrix fault-smoke audit-smoke fuzz-smoke store-stress serve-smoke serve-chaos report-smoke dse-smoke ci all
 
 export PYTHONPATH := src
 
@@ -62,6 +62,9 @@ store-stress:
 serve-smoke:
 	python tools/serve_smoke.py
 
+serve-chaos:
+	python tools/serve_chaos.py
+
 dse-smoke:
 	python tools/dse_smoke.py
 
@@ -77,6 +80,7 @@ ci:
 	python -m repro fuzz --specs 200 --seed 0 --no-corpus
 	python -m pytest -q tests/store/
 	python tools/serve_smoke.py
+	python tools/serve_chaos.py
 	python -m repro report fig13 fig16 --top 5
 	python tools/dse_smoke.py
 

@@ -9,7 +9,10 @@ Measures the three things the perf layer is for:
   **per-layer latency distribution** of both passes as Prometheus-style
   histograms (the tail is what a fleet scheduler cares about, and a mean
   hides it);
-- the simulation cache's hit rate over one full in-process harness run.
+- the simulation cache's hit rate over one full in-process harness run;
+- warm serve-path round-trip latency (p50/p99 over real sockets) plus the
+  robustness counters that must stay zero on benign traffic
+  (``serve.breaker_false_trips``, ``serve.deadline_timeouts``).
 
 Every run is recorded through the observability layer: the report gains a
 ``provenance`` block (run id, git SHA, versions, config fingerprints —
@@ -244,6 +247,76 @@ def audit_overhead(experiment_id: str = "fig13", repeats: int = 3) -> dict:
     }
 
 
+def serve_latency(requests: int = 200, specs: int = 4) -> dict:
+    """Warm serve-path latency over real sockets, plus robustness counters.
+
+    Boots the daemon in-process on an ephemeral port, warms ``specs``
+    distinct queries, then measures ``requests`` sequential round-trips
+    (all memo hits — this times the serving machinery, not the engine).
+    ``breaker_false_trips`` and ``deadline_timeouts`` must stay 0 on
+    benign traffic: a trip here means the breaker punished a healthy
+    spec, which the sentinel gates as a regression.
+    """
+    import asyncio
+
+    from repro.store.serve import (
+        ReproServer,
+        ServeConfig,
+        SimulationService,
+        http_request,
+    )
+
+    async def scenario() -> dict:
+        config = ServeConfig(host="127.0.0.1", port=0, watchdog=False)
+        service = SimulationService(config)
+        server = ReproServer(service, run_id="bench")
+        host, port = await server.start()
+        try:
+            queries = [
+                {"spec": {
+                    "n": 1, "c_in": 16 * (1 + i % 2), "h_in": 14, "w_in": 14,
+                    "c_out": 32, "h_filter": 3, "w_filter": 3,
+                    "stride": 1, "padding": 1, "name": f"bench-serve-{i}",
+                }}
+                for i in range(specs)
+            ]
+            for query in queries:  # warm every spec: memo hits from here on
+                status, _ = await http_request(
+                    host, port, "POST", "/v1/conv", query
+                )
+                assert status == 200, status
+            latencies = []
+            for i in range(requests):
+                start = time.perf_counter()
+                status, _ = await http_request(
+                    host, port, "POST", "/v1/conv", queries[i % specs]
+                )
+                latencies.append(time.perf_counter() - start)
+                assert status == 200, status
+            latencies.sort()
+            counters = service.registry.counters
+            return {
+                "requests": requests,
+                "p50_ms": round(latencies[len(latencies) // 2] * 1e3, 3),
+                "p99_ms": round(
+                    latencies[min(len(latencies) - 1,
+                                  int(0.99 * len(latencies)))] * 1e3, 3
+                ),
+                "breaker_false_trips": service.breakers.trips,
+                "deadline_timeouts": int(
+                    counters.get("repro_serve_deadline_timeouts_total", 0)
+                ),
+            }
+        finally:
+            await server.shutdown()
+
+    clear_cache()
+    try:
+        return asyncio.run(scenario())
+    finally:
+        clear_cache()
+
+
 def main(argv=None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -279,6 +352,7 @@ def main(argv=None) -> None:
             "experiment_wall_seconds": experiment_wall_seconds(),
             "cache": harness_hit_rate(),
             "store": store_warm_start(),
+            "serve": serve_latency(),
             **({"audit": audit_overhead()} if args.audit_overhead else {}),
             "provenance": {
                 "run_id": run_ctx.run_id,

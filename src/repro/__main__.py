@@ -16,10 +16,13 @@ Commands:
 - ``list-networks`` — the available workload tables.
 - ``sentinel`` — the perf-regression gate over ``BENCH_history.jsonl`` and
   the trace goldens (same engine as ``tools/check_regression.py``).
-- ``serve [--port P] [--store DIR] [--max-pending N]`` — a long-lived
-  asyncio daemon answering ConvSpec timing queries over HTTP/JSON with
-  in-flight dedup, engine batching, 429 load shedding and ``/metrics``
-  (see :mod:`repro.store.serve`).
+- ``serve [--port P] [--store DIR] [--workers N]`` — a long-lived,
+  crash-only asyncio daemon answering ConvSpec timing queries over
+  HTTP/JSON: in-flight dedup, engine batching, supervised pre-forked
+  workers, per-request deadlines, per-spec circuit breakers, an SLO
+  degradation ladder, 429/503 + ``Retry-After`` load shedding,
+  ``/healthz`` + ``/readyz`` + ``/metrics``
+  (see :mod:`repro.store.serve` and :mod:`repro.store.workers`).
 - ``store verify|stats|compact DIR`` — integrity-scan (``verify
   --quarantine`` moves corrupt records into ``<store>/quarantine/`` and
   exits 0 once healed), describe, or LRU-compact a persistent result
@@ -241,7 +244,17 @@ def cmd_serve(args) -> int:
     argv = ["--host", args.host, "--port", str(args.port),
             "--max-pending", str(args.max_pending),
             "--batch-window", str(args.batch_window),
-            "--max-batch", str(args.max_batch)]
+            "--max-batch", str(args.max_batch),
+            "--workers", str(args.workers),
+            "--default-deadline-ms", str(args.default_deadline_ms),
+            "--breaker-threshold", str(args.breaker_threshold),
+            "--breaker-cooldown", str(args.breaker_cooldown),
+            "--slo-p99-ms", str(args.slo_p99_ms),
+            "--slo-error-ratio", str(args.slo_error_ratio)]
+    if args.no_watchdog:
+        argv.append("--no-watchdog")
+    if args.inject_faults:
+        argv.extend(["--inject-faults", args.inject_faults])
     if args.store:
         argv.extend(["--store", args.store])
     if args.run_id:
@@ -469,6 +482,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="coalescing window before each engine batch")
     p.add_argument("--max-batch", type=int, default=defaults.max_batch,
                    help="queries per simulate_conv_batch call at most")
+    p.add_argument("--workers", type=int, default=defaults.workers,
+                   help="pre-forked request workers behind a supervising "
+                   "parent (default 1 = single process)")
+    p.add_argument("--default-deadline-ms", type=float,
+                   default=defaults.default_deadline_ms, metavar="MS",
+                   help="per-request deadline when no X-Repro-Deadline-Ms "
+                   "header arrives")
+    p.add_argument("--breaker-threshold", type=int,
+                   default=defaults.breaker_threshold,
+                   help="failures that trip a spec fingerprint's circuit "
+                   "breaker (fast 422 afterwards)")
+    p.add_argument("--breaker-cooldown", type=float,
+                   default=defaults.breaker_cooldown_s, metavar="S",
+                   help="seconds an open breaker refuses before half-opening")
+    p.add_argument("--slo-p99-ms", type=float, default=defaults.slo_p99_ms,
+                   help="p99 latency above which the degradation ladder "
+                   "escalates")
+    p.add_argument("--slo-error-ratio", type=float,
+                   default=defaults.slo_error_ratio,
+                   help="error ratio above which the ladder escalates")
+    p.add_argument("--no-watchdog", action="store_true",
+                   help="disable the SLO watchdog (degradation rung moves "
+                   "only explicitly)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="seeded chaos plan, e.g. 'serve=conn-reset,"
+                   "worker-crash,rate=0.05,seed=7,poison=hostile'")
     p.add_argument("--run-id", default=None, metavar="RUN_ID",
                    help="pin the daemon's run id (default: generated)")
     p.add_argument("--trace", nargs="?", const="serve-trace.json",

@@ -118,11 +118,21 @@ def render_status(doc: dict, now: Optional[float] = None) -> str:
 
     serve = doc.get("serve", {})
     if any(serve.get(k) for k in ("requests", "in_flight", "dedup_joins", "shed")):
-        lines.append(
+        line = (
             f"serve   requests={serve.get('requests', 0)}"
             f" in_flight={serve.get('in_flight', 0)}"
             f" dedup_joins={serve.get('dedup_joins', 0)} shed={serve.get('shed', 0)}"
         )
+        rung = serve.get("rung") or doc.get("extra", {}).get("rung")
+        if rung and rung != "full":
+            line += f" rung={rung}"
+        breakers = serve.get("breakers", {})
+        if breakers.get("open"):
+            line += f" breakers_open={len(breakers['open'])}"
+        worker = serve.get("worker")
+        if worker:
+            line += f" worker={worker.get('index')}/{worker.get('configured')}"
+        lines.append(line)
 
     cache = doc.get("cache", {})
     probes = sum(int(v) for v in cache.values())

@@ -53,6 +53,13 @@ HELP_TEXT: Dict[str, str] = {
     "repro_serve_batch_seconds": "Engine wall time per served batch.",
     "repro_serve_pending": "Queries currently in flight in the serve daemon.",
     "repro_serve_draining": "1 while the serve daemon is draining for shutdown.",
+    "repro_serve_degraded": "Current degradation-ladder rung (0=full 1=serial 2=store-only 3=drain).",
+    "repro_serve_rung_changes_total": "Degradation-ladder rung changes (escalations and recoveries).",
+    "repro_serve_breaker_trips_total": "Circuit-breaker trips (a spec fingerprint went open).",
+    "repro_serve_breaker_fastfail_total": "Queries fast-failed with 422 by an open circuit breaker.",
+    "repro_serve_breaker_open": "Spec-fingerprint circuit breakers currently open or half-open.",
+    "repro_serve_deadline_timeouts_total": "Requests that blew their deadline (504) and abandoned their queries.",
+    "repro_serve_store_only_miss_total": "Queries refused 503 at the store-only rung because the spec was cold.",
     "repro_dse_tasks_total": "Design-space sweep tasks enqueued (point x workload).",
     "repro_dse_results_total": "Design-space sweep tasks with a journaled result.",
     "repro_dse_failures_total": "Failed sweep task attempts journaled (pre-quarantine).",

@@ -62,6 +62,8 @@ _DIRECTIONS = (
     ("cache.hit_rate", "down"),
     ("cache.canonical_hit_rate", "down"),
     ("store.hit_rate", "down"),
+    ("serve.p99_ms", "up"),
+    ("serve.breaker_false_trips", "up"),
 )
 
 

@@ -201,6 +201,29 @@ class SimulationCache:
         self._note_probe("miss")
         return False, None
 
+    def peek(self, key: Tuple, canonical_key: Optional[Tuple] = None):
+        """Uncounted lookup: ``(found, value)``, no stats, no beacon.
+
+        The serve daemon's *store-only* degradation rung answers warm hits
+        and honestly 503s misses; its admission probe must not perturb the
+        hit/miss accounting the batcher uses to count fresh simulations.
+        A memory hit does not promote or alias; a backing-store hit is
+        promoted (that read already paid the disk I/O).
+        """
+        value = self._store.get(key, _MISSING)
+        if value is not _MISSING:
+            return True, value
+        if canonical_key is not None and canonical_key != key:
+            value = self._store.get(canonical_key, _MISSING)
+            if value is not _MISSING:
+                return True, value
+        if self.backing is not None:
+            found, value, _ = self.backing.load(key, canonical_key)
+            if found:
+                self._store[key] = value
+                return True, value
+        return False, None
+
     @staticmethod
     def _note_probe(tier: str) -> None:
         _beacon.get_beacon().note_cache(tier)

@@ -21,7 +21,10 @@ Four pieces, designed so a hung worker, an OOM'd process or a mid-run
   the :mod:`repro.dse` sharded work queue;
 - :mod:`repro.resilience.quarantine` — the replayable poison-task journal
   (park a config that keeps crashing/AuditFaulting instead of retrying it
-  forever or failing the sweep).
+  forever or failing the sweep);
+- :mod:`repro.resilience.breaker` — per-fingerprint circuit breakers for
+  the serving plane (closed → open → half-open), turning a spec that
+  deterministically fails into a fast, honest 422 instead of a re-run.
 
 The fault taxonomy itself (:class:`~repro.errors.TransientFault`,
 :class:`~repro.errors.PermanentFault`, :class:`~repro.errors.AuditFault`,
@@ -67,10 +70,12 @@ __all__ = [
     "release",
     # Imported lazily to keep the memory substrates' fault hooks cheap and
     # cycle-free: repro.resilience.checkpoint / repro.resilience.supervisor /
-    # repro.resilience.quarantine (which pulls in the obs layer).
+    # repro.resilience.quarantine / repro.resilience.breaker (which pull in
+    # the obs layer).
     "checkpoint",
     "supervisor",
     "quarantine",
+    "breaker",
 ]
 
 
@@ -78,7 +83,7 @@ def __getattr__(name: str):
     # Lazy submodule access: `repro.resilience.checkpoint` pulls in the
     # harness/report layer, which must not load just because a memory
     # model touched the fault hooks.
-    if name in ("checkpoint", "supervisor", "quarantine"):
+    if name in ("checkpoint", "supervisor", "quarantine", "breaker"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)

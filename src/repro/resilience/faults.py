@@ -36,6 +36,19 @@ of hoping production hits them first.  Faults come in three groups:
   moment :mod:`repro.audit` evaluates it, so the catch → shrink → corpus
   pipeline of ``repro fuzz`` — and the runner's AuditFault surfacing — can
   be proven without planting a real model bug.
+- **Serve faults**: ``serve=conn-reset,slowloris,truncated-body,worker-crash
+  [,rate=R,seed=N,poison=NAME]`` arms the serving plane's chaos campaign.
+  ``worker-crash`` makes a pre-forked serve *worker* ``os._exit`` at rate
+  ``R`` per handled request (only in supervised workers — a single-process
+  daemon ignores it rather than committing suicide) and ``conn-reset``
+  aborts that fraction of accepted connections before reading the request.
+  ``slowloris`` and ``truncated-body`` are *client-side* behaviors: the
+  campaign driver (``tools/serve_chaos.py``) reads the same plan and plays
+  them against the daemon, so one spec string seeds both ends
+  deterministically.  ``poison=NAME`` makes any query whose spec name
+  contains ``NAME`` raise :class:`~repro.errors.AuditFault` at pricing
+  time — the seeded poison spec the per-fingerprint circuit breaker must
+  trip on.
 
 All randomness derives from ``seed=N`` (default 0) plus stable event
 counters — two runs of the same plan over the same work inject the same
@@ -68,6 +81,11 @@ HANG_SECONDS = 3600.0
 #: Damage modes ``corrupt-store`` can apply to a persistent record.
 STORE_CORRUPTION_MODES = ("truncate", "checksum", "schema", "torn")
 
+#: Chaos modes the serving plane understands.  ``worker-crash`` and
+#: ``conn-reset`` fire server-side; ``slowloris`` and ``truncated-body``
+#: are played by the campaign client off the same plan.
+SERVE_FAULT_MODES = ("conn-reset", "slowloris", "truncated-body", "worker-crash")
+
 
 @dataclasses.dataclass
 class FaultPlan:
@@ -88,6 +106,12 @@ class FaultPlan:
     corrupt_store: str = ""
     #: Audit invariant id to break deliberately ("any" matches them all).
     audit_break: str = ""
+    #: Armed serve chaos modes (subset of :data:`SERVE_FAULT_MODES`).
+    serve: Set[str] = dataclasses.field(default_factory=set)
+    #: Per-event probability for rate-based serve faults.
+    serve_rate: float = 0.1
+    #: Spec-name substring that AuditFaults at serve pricing time.
+    poison_spec: str = ""
     spec: str = ""
     #: Firing counts per fault class (proof the path was exercised).
     counters: Dict[str, int] = dataclasses.field(default_factory=dict)
@@ -104,6 +128,11 @@ class FaultPlan:
                 continue
             if token == "corrupt-store":
                 plan.corrupt_store = "any"
+                continue
+            if plan.serve and token in SERVE_FAULT_MODES:
+                # Continuation of an open ``serve=`` list: the canonical
+                # spelling is ``serve=conn-reset,slowloris,worker-crash``.
+                plan.serve.add(token)
                 continue
             if "@" in token:
                 name, _, target = token.partition("@")
@@ -142,6 +171,25 @@ class FaultPlan:
                         )
                     plan.audit_break = raw
                     continue
+                if name == "serve":
+                    # String-valued: the first of possibly several serve
+                    # chaos modes; later bare mode tokens extend the set.
+                    if raw not in SERVE_FAULT_MODES:
+                        raise ConfigError(
+                            "serve fault mode must be one of "
+                            + "/".join(SERVE_FAULT_MODES),
+                            field="--inject-faults", value=token,
+                        )
+                    plan.serve.add(raw)
+                    continue
+                if name == "poison":
+                    if not raw:
+                        raise ConfigError(
+                            "poison needs a spec-name substring",
+                            field="--inject-faults", value=token,
+                        )
+                    plan.poison_spec = raw
+                    continue
                 if name == "corrupt-store":
                     # String-valued: one damage mode, or "any" to rotate.
                     if raw not in STORE_CORRUPTION_MODES + ("any",):
@@ -161,6 +209,13 @@ class FaultPlan:
                     ) from None
                 if name == "seed":
                     plan.seed = int(value)
+                elif name == "rate":
+                    if not 0.0 <= value <= 1.0:
+                        raise ConfigError(
+                            "serve fault rate must be in [0, 1]",
+                            field="--inject-faults", value=token,
+                        )
+                    plan.serve_rate = value
                 elif name == "dram-drop":
                     if not 0.0 <= value <= 1.0:
                         raise ConfigError(
@@ -251,6 +306,28 @@ class FaultPlan:
             return False
         if self.audit_break == "any" or self.audit_break == invariant:
             self._count("audit_break")
+            return True
+        return False
+
+    # -------------------------------------------------------- serve faults
+    def serve_fires(self, mode: str, seq: int) -> bool:
+        """Should rate-based serve fault ``mode`` fire for event ``seq``?
+
+        Deterministic per (seed, mode, seq): the campaign driver and the
+        daemon draw identical schedules from one spec string.
+        """
+        if mode not in self.serve:
+            return False
+        rng = random.Random(f"{self.seed}:serve:{mode}:{seq}")
+        if rng.random() < self.serve_rate:
+            self._count(f"serve_{mode.replace('-', '_')}")
+            return True
+        return False
+
+    def poison_matches(self, name: str) -> bool:
+        """True if a spec named ``name`` should AuditFault at pricing time."""
+        if self.poison_spec and self.poison_spec in (name or ""):
+            self._count("serve_poison")
             return True
         return False
 

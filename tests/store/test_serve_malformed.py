@@ -1,0 +1,218 @@
+"""Hostile-protocol tests: every malformed exchange gets a clean answer.
+
+The invariant under test (DESIGN.md §4l): slowloris headers, truncated or
+oversized bodies and garbage JSON each receive a definitive 4xx/408
+within the configured protocol timeouts — never a hung connection, never
+a dead server.  Each scenario finishes by serving a normal query on the
+same daemon to prove it is still healthy.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.perf.cache import clear_cache
+from repro.store import detach
+from repro.store.serve import (
+    ReproServer,
+    ServeConfig,
+    SimulationService,
+    http_request,
+)
+
+SPEC = {"n": 1, "c_in": 8, "h_in": 7, "w_in": 7, "c_out": 8,
+        "h_filter": 3, "w_filter": 3, "stride": 1, "padding": 1,
+        "name": "malformed-probe"}
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    detach()
+    clear_cache()
+    yield
+    detach()
+    clear_cache()
+
+
+async def _boot(**overrides):
+    overrides.setdefault("header_timeout_s", 0.3)
+    overrides.setdefault("body_timeout_s", 0.3)
+    overrides.setdefault("watchdog", False)
+    config = ServeConfig(host="127.0.0.1", port=0, **overrides)
+    service = SimulationService(config)
+    server = ReproServer(service, run_id="malformed-test")
+    host, port = await server.start()
+    return service, server, host, port
+
+
+async def _raw_exchange(host, port, chunks, *, pause_s=0.0, half_close=False,
+                        read_timeout_s=5.0):
+    """Send raw byte chunks (with optional pauses) and read the response."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        try:
+            for chunk in chunks:
+                writer.write(chunk)
+                await writer.drain()
+                if pause_s:
+                    await asyncio.sleep(pause_s)
+            if half_close:
+                writer.write_eof()
+        except (ConnectionError, OSError):
+            pass  # the server already answered and hung up mid-drip
+        raw = await asyncio.wait_for(reader.read(), timeout=read_timeout_s)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return raw
+
+
+def _status_of(raw: bytes) -> int:
+    assert raw, "server hung up without answering"
+    return int(raw.split(b" ", 2)[1])
+
+
+def _body_of(raw: bytes) -> dict:
+    return json.loads(raw.partition(b"\r\n\r\n")[2].decode("utf-8"))
+
+
+async def _assert_still_serving(host, port):
+    status, body = await http_request(host, port, "POST", "/v1/conv",
+                                      {"spec": SPEC})
+    assert status == 200 and body["cycles"] > 0
+
+
+def test_slowloris_headers_answered_408():
+    async def scenario():
+        service, server, host, port = await _boot()
+        try:
+            # One header byte per pause, then stall: the 0.3s header
+            # timeout fires long before the request line would complete.
+            raw = await _raw_exchange(
+                host, port, [b"G", b"E", b"T"], pause_s=0.08
+            )
+            assert _status_of(raw) == 408
+            body = _body_of(raw)
+            assert "headers" in body["error"]
+            assert body["run_id"] == "malformed-test"
+            await _assert_still_serving(host, port)
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_truncated_body_half_close_answered_400():
+    async def scenario():
+        service, server, host, port = await _boot()
+        try:
+            head = (b"POST /v1/conv HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: 500\r\n\r\n")
+            raw = await _raw_exchange(
+                host, port, [head, b'{"spec":'], half_close=True
+            )
+            assert _status_of(raw) == 400
+            assert "truncated" in _body_of(raw)["error"]
+            await _assert_still_serving(host, port)
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_stalled_body_answered_408():
+    async def scenario():
+        service, server, host, port = await _boot()
+        try:
+            head = (b"POST /v1/conv HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: 500\r\n\r\n")
+            # Send a sliver of the promised body, then stall: the body
+            # timeout must answer instead of waiting forever.
+            raw = await _raw_exchange(host, port, [head, b'{"spec"'])
+            assert _status_of(raw) == 408
+            assert "body" in _body_of(raw)["error"]
+            await _assert_still_serving(host, port)
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_oversized_body_refused_413_without_reading():
+    async def scenario():
+        service, server, host, port = await _boot(max_body_bytes=1024)
+        try:
+            head = (b"POST /v1/conv HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: 1048576\r\n\r\n")
+            raw = await _raw_exchange(host, port, [head])
+            assert _status_of(raw) == 413
+            assert "1024-byte limit" in _body_of(raw)["error"]
+            await _assert_still_serving(host, port)
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_header_flood_refused_431():
+    async def scenario():
+        service, server, host, port = await _boot(header_timeout_s=5.0)
+        try:
+            # 1 MiB of header bytes with no terminator overruns the stream
+            # limit long before the header timeout would fire.
+            flood = b"GET / HTTP/1.1\r\n" + b"X-Junk: " + b"a" * (1 << 20)
+            raw = await _raw_exchange(host, port, [flood])
+            assert _status_of(raw) == 431
+            await _assert_still_serving(host, port)
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_garbage_json_and_malformed_requests_answered_400():
+    async def scenario():
+        service, server, host, port = await _boot()
+        try:
+            garbage = b'{"spec": {' + b"\xff\xfe nonsense"
+            head = (f"POST /v1/conv HTTP/1.1\r\nHost: x\r\n"
+                    f"Content-Length: {len(garbage)}\r\n\r\n").encode()
+            raw = await _raw_exchange(host, port, [head + garbage])
+            assert _status_of(raw) == 400
+            assert "bad JSON" in _body_of(raw)["error"]
+
+            raw = await _raw_exchange(host, port, [b"NONSENSE\r\n\r\n"])
+            assert _status_of(raw) == 400
+            assert "request line" in _body_of(raw)["error"]
+
+            head = (b"POST /v1/conv HTTP/1.1\r\nHost: x\r\n"
+                    b"Content-Length: banana\r\n\r\n")
+            raw = await _raw_exchange(host, port, [head])
+            assert _status_of(raw) == 400
+            assert "Content-Length" in _body_of(raw)["error"]
+            await _assert_still_serving(host, port)
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())
+
+
+def test_connect_then_close_is_not_an_error():
+    async def scenario():
+        service, server, host, port = await _boot()
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.close()
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)
+            await _assert_still_serving(host, port)
+            # A clean connect-and-leave produced no error sample.
+            assert service.budget.failed == 0
+        finally:
+            await server.shutdown()
+
+    asyncio.run(scenario())

@@ -28,7 +28,7 @@ import time
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
-from repro.store.serve import http_request  # noqa: E402
+from repro.store.serve import http_request, http_request_retry  # noqa: E402
 
 QUERY = {
     "spec": {
@@ -84,8 +84,8 @@ def check_json_doc(endpoint: str, body, required: dict) -> dict:
 
 
 async def exercise(port: int) -> None:
-    status, health, headers = await http_request(
-        "127.0.0.1", port, "GET", "/healthz", return_headers=True
+    status, health, headers = await http_request_retry(
+        "127.0.0.1", port, "GET", "/healthz", deadline_s=15.0
     )
     assert status == 200, (status, health)
     health = check_json_doc(
@@ -94,6 +94,11 @@ async def exercise(port: int) -> None:
     assert health["status"] == "ok", health
     assert headers.get("x-repro-run-id"), f"no X-Repro-Run-Id: {headers}"
     assert headers.get("x-repro-trace-id"), f"no X-Repro-Trace-Id: {headers}"
+
+    status, ready = await http_request("127.0.0.1", port, "GET", "/readyz")
+    assert status == 200, (status, ready)
+    ready = check_json_doc("/readyz", ready, {"ready": bool, "rung": str})
+    assert ready["ready"] is True and ready["rung"] == "full", ready
 
     status, topdoc = await http_request("127.0.0.1", port, "GET", "/statusz")
     assert status == 200, (status, topdoc)
@@ -104,7 +109,9 @@ async def exercise(port: int) -> None:
     )
     assert topdoc["kind"] == "repro-status" and topdoc["role"] == "serve", topdoc
 
-    status, first = await http_request("127.0.0.1", port, "POST", "/v1/conv", QUERY)
+    status, first, _ = await http_request_retry(
+        "127.0.0.1", port, "POST", "/v1/conv", QUERY, deadline_s=60.0
+    )
     assert status == 200, (status, first)
     first = check_json_doc(
         "/v1/conv", first, {"cycles": (int, float), "utilization": (int, float)}
@@ -129,8 +136,8 @@ async def exercise(port: int) -> None:
         f"repeat query must not re-simulate: {sims and sims.group(0)}"
     )
     print(
-        f"serve-smoke: 2 queries, 1 simulation, /healthz+/statusz schema ok, "
-        f"/metrics ok (port {port})"
+        f"serve-smoke: 2 queries, 1 simulation, /healthz+/readyz+/statusz "
+        f"schema ok, /metrics ok (port {port})"
     )
 
 
